@@ -1,0 +1,60 @@
+"""Benchmark harness fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures from a
+shared synthetic dataset and prints the paper-vs-measured rows (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them; EXPERIMENTS.md holds
+a captured full-scale run).  Timings measure the analysis stages themselves.
+
+``REPRO_BENCH_SCALE`` (default 0.1) selects the window scale; 1.0 reproduces
+paper-scale totals at a few minutes of generation time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DeltaStudy
+from repro.datasets import synthesize_delta, synthesize_h100
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: scale={BENCH_SCALE}, seed={BENCH_SEED}"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    return synthesize_delta(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_dataset):
+    study = DeltaStudy.from_dataset(bench_dataset)
+    study.errors  # run Stage I+II once up front
+    return study
+
+
+@pytest.fixture(scope="session")
+def bench_h100_study():
+    dataset = synthesize_h100(seed=BENCH_SEED)
+    study = DeltaStudy.from_dataset(dataset)
+    study.errors
+    return study
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collect rendered reports; echoed at session end for -s runs."""
+    chunks: list[str] = []
+    yield chunks
+    if chunks:
+        print("\n\n" + "\n\n".join(chunks))

@@ -1,0 +1,74 @@
+"""Ablation: the PMU->MMU cascade, derived mechanistically.
+
+Figure 5's highest-impact propagation edge (PMU SPI -> MMU at 0.82) is an
+*observed correlation* in the paper; the DVFS substrate derives it from a
+mechanism — SPI failure -> stale operating point -> marginal translation
+logic — and shows which knobs move it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pmu.dvfs import DvfsController
+from repro.pmu.spi import SpiBus, SpiConfig
+from repro.util.tables import Table
+
+TICKS = 250_000
+
+
+def _run(corruption=0.08, hazard=1.2, stale=3, seed=1):
+    controller = DvfsController(
+        SpiBus(SpiConfig(corruption_prob=corruption)),
+        mmu_hazard_per_mismatch=hazard,
+        stale_ticks_after_failure=stale,
+    )
+    return controller.run(TICKS, np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+def test_bench_dvfs_loop(benchmark):
+    report = benchmark.pedantic(
+        lambda: _run(seed=2), rounds=1, iterations=1
+    )
+    assert report.ticks == TICKS
+
+
+def test_cascade_probability_matches_figure5(baseline, report_sink):
+    assert baseline.p_mmu_given_spi_failure == pytest.approx(0.82, abs=0.08)
+    table = Table(
+        "PMU ablation - the derived PMU->MMU cascade (paper edge: 0.82)",
+        ["SPI failures", "MMU faults in stale windows", "P(MMU | SPI failure)"],
+    )
+    table.add_row(
+        baseline.spi_failures, baseline.failures_with_mmu,
+        baseline.p_mmu_given_spi_failure,
+    )
+    report_sink.append(table.render())
+
+
+def test_faster_spi_recovery_cuts_the_cascade(report_sink):
+    """Shrinking the stale window (faster re-establishment of PMU comms)
+    is the actionable fix the mechanism suggests."""
+    slow = _run(stale=6, seed=3)
+    fast = _run(stale=1, seed=3)
+    assert fast.p_mmu_given_spi_failure < slow.p_mmu_given_spi_failure - 0.15
+    report_sink.append(
+        "PMU mitigation: P(MMU|SPI failure) "
+        f"{slow.p_mmu_given_spi_failure:.2f} with a 6-tick stale window vs "
+        f"{fast.p_mmu_given_spi_failure:.2f} with 1-tick recovery"
+    )
+
+
+def test_bus_quality_drives_event_rate(baseline):
+    degraded = _run(corruption=0.15, seed=4)
+    assert degraded.spi_failures > baseline.spi_failures * 2
+
+
+def test_healthy_bus_no_events(report_sink):
+    clean = _run(corruption=0.0, seed=5)
+    assert clean.spi_failures == 0
+    assert clean.mmu_faults == 0

@@ -1,0 +1,48 @@
+"""Section 6: emerging H100 errors."""
+
+import pytest
+
+from repro.core.h100 import H100Analyzer
+from repro.faults.xid import Xid
+
+
+@pytest.fixture(scope="module")
+def report(bench_h100_study):
+    return H100Analyzer(bench_h100_study.error_statistics()).report()
+
+
+def test_bench_h100_analysis(benchmark, bench_h100_study, report_sink):
+    stats = bench_h100_study.error_statistics()
+    result = benchmark(lambda: H100Analyzer(stats).report())
+    report_sink.append(
+        "Section 6 - emerging H100 errors\n"
+        f"  counts: {result.counts}  (paper: 18 MMU, 10 DBE, 5 RRF, 9 contained, 70 XID-136)\n"
+        f"  MTBE: {result.mtbe_node_hours:,.0f} node-hours  (paper 4,114)\n"
+        f"  remap anomaly (DBE/RRF w/o RRE): {result.has_remap_anomaly}"
+    )
+
+
+def test_mtbe_4114_node_hours(report):
+    assert report.mtbe_node_hours == pytest.approx(4_114, rel=0.1)
+
+
+def test_event_mix_matches_section6(report):
+    assert report.counts.get(int(Xid.MMU), 0) == pytest.approx(18, abs=6)
+    assert report.dbe_count == pytest.approx(10, abs=3)
+    assert report.rrf_count == pytest.approx(5, abs=3)
+    assert report.counts.get(int(Xid.CONTAINED), 0) == pytest.approx(9, abs=3)
+    assert report.xid136_count == pytest.approx(70, abs=8)
+
+
+def test_xid136_most_frequent(report):
+    assert report.xid136_share > 0.5
+
+
+def test_remap_anomaly(report):
+    assert report.has_remap_anomaly
+
+
+def test_h100_mtbe_far_above_ampere(report, bench_study):
+    ampere = bench_study.error_statistics().overall_mtbe_node_hours()
+    # "significantly higher than A100 and A40" — ~60x in the paper.
+    assert report.mtbe_node_hours > 20 * ampere

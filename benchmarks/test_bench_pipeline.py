@@ -1,0 +1,62 @@
+"""Algorithm 1 and Stage I throughput, plus the paper's dt ablation."""
+
+import pytest
+
+from repro.core.coalesce import CoalesceConfig, coalesce_errors
+from repro.core.parsing import parse_syslog
+
+
+@pytest.fixture(scope="module")
+def raw_lines(bench_dataset):
+    return list(bench_dataset.log_lines())
+
+
+@pytest.fixture(scope="module")
+def records(raw_lines):
+    return parse_syslog(raw_lines)
+
+
+def test_bench_stage1_parsing_throughput(benchmark, raw_lines):
+    records = benchmark.pedantic(lambda: parse_syslog(raw_lines), rounds=2, iterations=1)
+    assert len(records) > 1_000
+
+
+def test_bench_stage2_coalescing_throughput(benchmark, records):
+    errors = benchmark.pedantic(
+        lambda: coalesce_errors(records), rounds=3, iterations=1
+    )
+    assert len(errors) < len(records)
+
+
+class TestDeltaTAblation:
+    """Paper Section 3.2: varying dt from 5 to 20 seconds barely moves the
+    results; far larger windows start merging distinct errors."""
+
+    def test_5s_vs_20s_stable(self, records):
+        count_5 = len(coalesce_errors(records, CoalesceConfig(window_seconds=5.0)))
+        count_20 = len(coalesce_errors(records, CoalesceConfig(window_seconds=20.0)))
+        assert abs(count_5 - count_20) / count_5 < 0.05
+
+    def test_10s_between(self, records):
+        counts = {
+            dt: len(coalesce_errors(records, CoalesceConfig(window_seconds=dt)))
+            for dt in (5.0, 10.0, 20.0)
+        }
+        assert counts[5.0] >= counts[10.0] >= counts[20.0]
+
+    def test_huge_window_collapses_bursty_codes(self, records):
+        count_5 = len(coalesce_errors(records, CoalesceConfig(window_seconds=5.0)))
+        count_10m = len(
+            coalesce_errors(records, CoalesceConfig(window_seconds=600.0))
+        )
+        assert count_10m < count_5 * 0.8
+
+    def test_bench_dt_sweep(self, benchmark, records):
+        def sweep():
+            return [
+                len(coalesce_errors(records, CoalesceConfig(window_seconds=dt)))
+                for dt in (5.0, 10.0, 20.0)
+            ]
+
+        counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert len(counts) == 3

@@ -1,0 +1,94 @@
+"""Reliability statistics and spatial concentration at bench scale."""
+
+import pytest
+
+from repro.core.reliability import (
+    fit_exponential,
+    fit_weibull,
+    interarrival_times,
+    mtbe_confidence_interval,
+    trend_test,
+)
+from repro.core.spatial import SpatialAnalyzer
+from repro.util.tables import Table
+
+
+@pytest.fixture(scope="module")
+def errors(bench_study):
+    return bench_study.error_statistics().errors
+
+
+def test_bench_bootstrap_ci(benchmark, errors):
+    mmu = [e for e in errors if e.xid == 31]
+    interval = benchmark(lambda: mtbe_confidence_interval(mmu, n_bootstrap=500))
+    assert interval.low < interval.high
+
+
+def test_mtbe_intervals_bracket_table1(errors, bench_scale, report_sink):
+    table = Table(
+        "MTBE with bootstrap 95% CIs (system-hours; Table 1 as point values)",
+        ["XID", "MTBE (h)", "CI low", "CI high", "Table 1"],
+    )
+    paper = {31: 1.09, 74: 6.87, 95: 0.53, 119: 9.61}
+    for xid, reference in paper.items():
+        subset = [e for e in errors if e.xid == xid]
+        interval = mtbe_confidence_interval(subset)
+        table.add_row(xid, interval.point, interval.low, interval.high, reference)
+        if xid == 95:
+            # Bursty arrivals: the mean inter-arrival gap sits below the
+            # window/count estimator Table 1 uses (boundary intervals are
+            # excluded from gaps) — report, don't bracket.
+            continue
+        # The paper's point estimate should sit inside (or graze) the CI.
+        slack = (interval.high - interval.low) * 0.5
+        assert interval.low - slack <= reference <= interval.high + slack, xid
+    report_sink.append(table.render())
+
+
+def test_offender_stream_is_bursty(errors, report_sink):
+    """The uncontained arrivals fit a Weibull with shape << 1 (bursty,
+    decreasing hazard); GSP arrivals are near-exponential — statistical
+    confirmation of Section 4.4's qualitative split."""
+    uncontained = interarrival_times([e for e in errors if e.xid == 95])
+    gsp = interarrival_times([e for e in errors if e.xid == 119])
+    w_unc = fit_weibull(uncontained)
+    w_gsp = fit_weibull(gsp)
+    assert w_unc.shape < 0.85
+    assert w_gsp.shape == pytest.approx(1.0, abs=0.25)
+    assert w_unc.shape < w_gsp.shape - 0.1
+    assert fit_weibull(uncontained).log_likelihood > fit_exponential(
+        uncontained
+    ).log_likelihood
+    report_sink.append(
+        "Inter-arrival shape (Weibull k): "
+        f"uncontained {w_unc.shape:.2f} (bursty) vs GSP {w_gsp.shape:.2f} "
+        "(memoryless) - the offender's burstiness is statistically distinct"
+    )
+
+
+def test_spatial_concentration(bench_study, errors, report_sink):
+    analyzer = SpatialAnalyzer(errors, n_gpus=848)
+    table = Table(
+        "Spatial concentration per code (Section 4.2 iii)",
+        ["XID", "Gini", "top-1 share", "top-4 share", "GPUs affected %"],
+    )
+    for xid in (95, 31, 74, 119):
+        table.add_row(
+            xid,
+            analyzer.gini(xid),
+            analyzer.top_share(xid, 1),
+            analyzer.top_share(xid, 4),
+            analyzer.affected_gpu_fraction(xid) * 100,
+        )
+    report_sink.append(table.render())
+    assert analyzer.top_share(95, 1) > 0.95  # paper: one GPU at 99%
+    assert analyzer.top_share(95, 4) > 0.97  # paper: 4 GPUs hold ~all
+    assert analyzer.gini(95) > analyzer.gini(119)
+
+
+def test_gsp_stream_is_stationary(errors, bench_study):
+    """GSP errors arrive steadily across the window (no burn-in effect),
+    unlike the testing-phase-concentrated memory codes."""
+    gsp = [e for e in errors if e.xid == 119]
+    result = trend_test(gsp, bench_study.window_hours * 3600.0)
+    assert abs(result.statistic) < 4.0  # no strong drift

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""A tour of the resilience mechanisms, from bits to clusters.
+
+The field study observes mechanisms' *outcomes* in logs; this example runs
+the mechanisms themselves:
+
+1. SECDED ECC — correct one bit, detect two (why SBEs never appear in logs
+   and DBEs do);
+2. row remapping and containment — the Figure-3 recovery tree, including
+   what an A40 is missing;
+3. NVLink CRC + replay — why an XID-74 line is not necessarily a dead job;
+4. checkpointing — why Figure 9b's >4,000-minute jobs finish despite
+   repeated errors.
+
+Usage::
+
+    python examples/mechanisms_tour.py
+"""
+
+import numpy as np
+
+from repro.memory import DecodeStatus, GpuMemory, decode, encode, flip_bits
+from repro.nvlink import LinkConfig, simulate_collective
+from repro.slurm.checkpointing import (
+    CheckpointConfig,
+    expected_overhead,
+    optimal_interval,
+    simulate_run,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print(f"--- {title} " + "-" * max(0, 70 - len(title)))
+
+
+def tour_secded() -> None:
+    banner("1. SECDED ECC (Section 2.3.1)")
+    word = 0xDEADBEEFCAFEBABE
+    codeword = encode(word)
+    print(f"data word  : {word:#018x}")
+    print(f"codeword   : 72 bits ({codeword:#020x})")
+
+    single = decode(flip_bits(codeword, [13]))
+    print(f"1 bit flip : {single.status.value} -> data intact: "
+          f"{single.data == word} (corrected bit {single.corrected_position}; "
+          "never logged)")
+
+    double = decode(flip_bits(codeword, [13, 57]))
+    print(f"2 bit flips: {double.status.value} -> this is the DBE that logs "
+          "XID 48 and starts Figure 3's recovery tree")
+
+
+def tour_memory() -> None:
+    banner("2. Row remapping + containment (Figure 3)")
+    rng = np.random.default_rng(1)
+
+    a100 = GpuMemory(supports_containment=True, containment_success_prob=1.0)
+    a100.write((0, 7, 0), 42)
+    a100.inject_bit_flips((0, 7, 0), [3, 44])
+    _, events = a100.read((0, 7, 0), rng)
+    print("A100, spares available :", " -> ".join(e.kind.name for e in events),
+          f"(GPU operable: {a100.operable})")
+
+    a100b = GpuMemory(supports_containment=True, containment_success_prob=1.0)
+    a100b.remapper.exhaust_bank(0)
+    a100b.write((0, 7, 0), 42)
+    a100b.inject_bit_flips((0, 7, 0), [3, 44])
+    _, events = a100b.read((0, 7, 0), rng, owning_pid=4242)
+    print("A100, spares exhausted :", " -> ".join(e.kind.name for e in events),
+          f"(GPU operable: {a100b.operable}, page offlined: "
+          f"{a100b.containment.offlined_pages})")
+
+    a40 = GpuMemory(supports_containment=False)
+    a40.remapper.exhaust_bank(0)
+    a40.write((0, 7, 0), 42)
+    a40.inject_bit_flips((0, 7, 0), [3, 44])
+    _, events = a40.read((0, 7, 0), rng)
+    print("A40,  spares exhausted :", " -> ".join(e.kind.name for e in events),
+          f"(GPU operable: {a40.operable} <- no containment hardware)")
+
+
+def tour_topology() -> None:
+    banner("3a. NVLink topology and collectives (Figure 2's node configs)")
+    from repro.cluster.node import NodeKind
+    from repro.cluster.topology import nvlink_topology_for
+    from repro.nvlink import LinkConfig, LinkFabric
+
+    rng = np.random.default_rng(2)
+    for kind, label in ((NodeKind.A100_X4, "4-way A100 (all-to-all)"),
+                        (NodeKind.A100_X8, "8-way A100 (NVSwitch)"),
+                        (NodeKind.A40_X4, "4-way A40 (bridge pairs)")):
+        fabric = LinkFabric(nvlink_topology_for(kind), LinkConfig(bit_error_rate=0.0))
+        ring = fabric.ring_order()
+        result = fabric.ring_allreduce(rng)
+        ring_text = "-".join(map(str, ring)) if ring else "none (no Hamiltonian cycle)"
+        print(f"{label:<26}: ring {ring_text:<18} "
+              f"NVLink hops {result.nvlink_hops:>3}, PCIe fallback "
+              f"{result.pcie_fallback_hops}")
+
+
+def tour_nvlink() -> None:
+    banner("3. NVLink CRC + replay (finding iii)")
+    noisy = LinkConfig(bit_error_rate=1e-5)
+    with_retry = simulate_collective(config=noisy, n_jobs=60, seed=5)
+    no_retry = simulate_collective(
+        config=LinkConfig(bit_error_rate=1e-5, retry_enabled=False),
+        n_jobs=60, seed=5,
+    )
+    print(f"detected link CRC errors      : {with_retry.total_crc_errors}")
+    print(f"jobs surviving (with replay)  : {with_retry.survival_rate*100:.0f}%")
+    print(f"jobs surviving (no replay)    : {no_retry.survival_rate*100:.0f}%")
+    print("-> the mechanism behind '34% of jobs with NVLink errors completed'")
+
+
+def tour_checkpointing() -> None:
+    banner("4. Checkpointing (Sections 5.1/5.3, Figure 9b)")
+    config = CheckpointConfig(mtbf_hours=67.0)  # the measured MTBF
+    tau = optimal_interval(config)
+    print(f"measured MTBF 67 h -> optimal checkpoint interval {tau:.1f} h, "
+          f"expected overhead {expected_overhead(config, tau)*100:.1f}%")
+    useful = 500.0
+    with_ckpt = simulate_run(useful, config, seed=3)
+    without = simulate_run(useful, config, seed=3, checkpointing=False)
+    print(f"500 h job with checkpoints : {with_ckpt.wall_hours:7.0f} h wall, "
+          f"{with_ckpt.n_failures} failures survived")
+    print(f"500 h job restart-from-zero: {without.wall_hours:7.0f} h wall "
+          "(why un-checkpointed long jobs effectively never finish)")
+
+
+if __name__ == "__main__":
+    tour_secded()
+    tour_memory()
+    tour_nvlink()
+    tour_topology()
+    tour_checkpointing()
+    print()

@@ -1,0 +1,26 @@
+"""Input adapters for real-world log formats.
+
+The pipeline's native line shape is ISO-timestamped syslog; operators who
+want to run this toolkit on their own clusters usually have one of:
+
+* ``dmesg``/kernel ring buffer dumps — ``[12345.678] NVRM: Xid ...``;
+* ``journalctl -o short-iso`` exports — ``2024-05-01T12:00:00+0000 host kernel: ...``;
+* classic RFC-3164 syslog — ``May  1 12:00:00 host kernel: ...``.
+
+Each adapter normalizes its format into :class:`repro.core.parsing.RawXidRecord`
+so everything downstream (coalescing, statistics, propagation, job impact)
+runs unchanged on production data.
+"""
+
+from repro.adapters.dmesg import parse_dmesg_line, parse_dmesg_lines
+from repro.adapters.journal import parse_journal_line, parse_journal_lines
+from repro.adapters.rfc3164 import parse_rfc3164_line, parse_rfc3164_lines
+
+__all__ = [
+    "parse_dmesg_line",
+    "parse_dmesg_lines",
+    "parse_journal_line",
+    "parse_journal_lines",
+    "parse_rfc3164_line",
+    "parse_rfc3164_lines",
+]

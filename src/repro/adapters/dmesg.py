@@ -1,0 +1,60 @@
+"""Adapter: kernel ring-buffer (``dmesg``) dumps.
+
+Shape::
+
+    [  123.456789] NVRM: Xid (PCI:0000:C7:00): 119, pid=8821, Timeout ...
+
+Timestamps are seconds since boot; callers supply the boot epoch (seconds
+in the analysis timeline at which the node booted) and the hostname —
+``dmesg`` output carries neither.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.parsing import RawXidRecord
+
+_DMESG_PATTERN = re.compile(
+    r"^\[\s*(?P<uptime>\d+\.\d+)\]\s+"
+    r"NVRM:\s+Xid\s+\(PCI:(?P<pci>[0-9A-Fa-f:]+)\):\s+"
+    r"(?P<xid>\d+),\s+pid=(?P<pid>'[^']*'|\S+?),\s+"
+    r"(?P<msg>.*)$"
+)
+
+
+def parse_dmesg_line(
+    line: str, *, node_id: str, boot_epoch: float = 0.0
+) -> Optional[RawXidRecord]:
+    """Parse one dmesg line; None when it is not an XID record."""
+    if "NVRM: Xid" not in line:
+        return None
+    match = _DMESG_PATTERN.match(line.strip())
+    if match is None:
+        return None
+    pid_text = match["pid"]
+    return RawXidRecord(
+        time=boot_epoch + float(match["uptime"]),
+        node_id=node_id,
+        pci_bus=match["pci"],
+        xid=int(match["xid"]),
+        message=match["msg"],
+        pid=int(pid_text) if pid_text.isdigit() else None,
+    )
+
+
+def parse_dmesg_lines(
+    lines: Iterable[str], *, node_id: str, boot_epoch: float = 0.0
+) -> List[RawXidRecord]:
+    """Parse a whole dmesg dump from one node."""
+    return list(iter_parse(lines, node_id=node_id, boot_epoch=boot_epoch))
+
+
+def iter_parse(
+    lines: Iterable[str], *, node_id: str, boot_epoch: float = 0.0
+) -> Iterator[RawXidRecord]:
+    for line in lines:
+        record = parse_dmesg_line(line, node_id=node_id, boot_epoch=boot_epoch)
+        if record is not None:
+            yield record

@@ -1,0 +1,72 @@
+"""Adapter: ``journalctl -o short-iso`` exports.
+
+Shape::
+
+    2024-05-01T12:00:00+0000 gpub042 kernel: NVRM: Xid (PCI:0000:C7:00): 119, pid=..., msg
+
+Identical to the native format except the timestamp carries a UTC offset
+and no sub-second digits; the offset is honoured and times are returned in
+the analysis timeline relative to a caller-supplied epoch.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.parsing import RawXidRecord
+from repro.util.timeutil import EPOCH
+
+_JOURNAL_PATTERN = re.compile(
+    r"^(?P<ts>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(?:[+-]\d{4}|Z)?)\s+"
+    r"(?P<host>\S+)\s+kernel:\s+"
+    r"NVRM:\s+Xid\s+\(PCI:(?P<pci>[0-9A-Fa-f:]+)\):\s+"
+    r"(?P<xid>\d+),\s+pid=(?P<pid>'[^']*'|\S+?),\s+"
+    r"(?P<msg>.*)$"
+)
+
+
+def _parse_iso_with_offset(text: str, epoch: _dt.datetime) -> float:
+    if text.endswith("Z"):
+        text = text[:-1] + "+0000"
+    if re.search(r"[+-]\d{4}$", text):
+        moment = _dt.datetime.strptime(text, "%Y-%m-%dT%H:%M:%S%z")
+        moment = moment.astimezone(_dt.timezone.utc).replace(tzinfo=None)
+    else:
+        moment = _dt.datetime.strptime(text, "%Y-%m-%dT%H:%M:%S")
+    return (moment - epoch).total_seconds()
+
+
+def parse_journal_line(
+    line: str, *, epoch: _dt.datetime = EPOCH
+) -> Optional[RawXidRecord]:
+    if "NVRM: Xid" not in line:
+        return None
+    match = _JOURNAL_PATTERN.match(line.strip())
+    if match is None:
+        return None
+    pid_text = match["pid"]
+    return RawXidRecord(
+        time=_parse_iso_with_offset(match["ts"], epoch),
+        node_id=match["host"],
+        pci_bus=match["pci"],
+        xid=int(match["xid"]),
+        message=match["msg"],
+        pid=int(pid_text) if pid_text.isdigit() else None,
+    )
+
+
+def parse_journal_lines(
+    lines: Iterable[str], *, epoch: _dt.datetime = EPOCH
+) -> List[RawXidRecord]:
+    return list(iter_parse(lines, epoch=epoch))
+
+
+def iter_parse(
+    lines: Iterable[str], *, epoch: _dt.datetime = EPOCH
+) -> Iterator[RawXidRecord]:
+    for line in lines:
+        record = parse_journal_line(line, epoch=epoch)
+        if record is not None:
+            yield record

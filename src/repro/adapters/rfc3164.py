@@ -1,0 +1,78 @@
+"""Adapter: classic RFC-3164 syslog (``May  1 12:00:00 host kernel: ...``).
+
+RFC-3164 timestamps lack the year; callers supply it (plus the analysis
+epoch), and the adapter handles December-to-January wrap within one dump by
+bumping the year whenever time runs backwards by more than half a year.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.parsing import RawXidRecord
+from repro.util.timeutil import EPOCH
+
+_RFC3164_PATTERN = re.compile(
+    r"^(?P<mon>[A-Z][a-z]{2})\s+(?P<day>\d{1,2})\s+"
+    r"(?P<time>\d{2}:\d{2}:\d{2})\s+"
+    r"(?P<host>\S+)\s+kernel:\s+"
+    r"NVRM:\s+Xid\s+\(PCI:(?P<pci>[0-9A-Fa-f:]+)\):\s+"
+    r"(?P<xid>\d+),\s+pid=(?P<pid>'[^']*'|\S+?),\s+"
+    r"(?P<msg>.*)$"
+)
+
+_MONTHS = {
+    "Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+    "Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+
+
+def parse_rfc3164_line(
+    line: str, *, year: int, epoch: _dt.datetime = EPOCH
+) -> Optional[RawXidRecord]:
+    if "NVRM: Xid" not in line:
+        return None
+    match = _RFC3164_PATTERN.match(line.strip())
+    if match is None:
+        return None
+    month = _MONTHS.get(match["mon"])
+    if month is None:
+        return None
+    hh, mm, ss = (int(x) for x in match["time"].split(":"))
+    moment = _dt.datetime(year, month, int(match["day"]), hh, mm, ss)
+    pid_text = match["pid"]
+    return RawXidRecord(
+        time=(moment - epoch).total_seconds(),
+        node_id=match["host"],
+        pci_bus=match["pci"],
+        xid=int(match["xid"]),
+        message=match["msg"],
+        pid=int(pid_text) if pid_text.isdigit() else None,
+    )
+
+
+def parse_rfc3164_lines(
+    lines: Iterable[str], *, year: int, epoch: _dt.datetime = EPOCH
+) -> List[RawXidRecord]:
+    """Parse a dump, advancing the year across a December->January wrap."""
+    return list(iter_parse(lines, year=year, epoch=epoch))
+
+
+def iter_parse(
+    lines: Iterable[str], *, year: int, epoch: _dt.datetime = EPOCH
+) -> Iterator[RawXidRecord]:
+    current_year = year
+    previous_time: float | None = None
+    half_year = 183 * 86_400.0
+    for line in lines:
+        record = parse_rfc3164_line(line, year=current_year, epoch=epoch)
+        if record is None:
+            continue
+        if previous_time is not None and record.time < previous_time - half_year:
+            current_year += 1
+            record = parse_rfc3164_line(line, year=current_year, epoch=epoch)
+            assert record is not None
+        previous_time = record.time
+        yield record

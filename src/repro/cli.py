@@ -1,0 +1,236 @@
+"""Command-line entry point: ``repro-delta``.
+
+Subcommands:
+
+* ``synthesize`` — generate a dataset (logs + Slurm DB) to a directory;
+* ``study`` — run the full characterization over a generated dataset (or
+  synthesize one in-memory) and print the paper-style report;
+* ``overprovision`` — run the Section-5.4 sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="observation-window scale (1.0 = the paper's 855 days)")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-delta", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize", help="generate a dataset to a directory")
+    _add_common(p_syn)
+    p_syn.add_argument("output", type=Path, help="output directory")
+    p_syn.add_argument("--compress", action="store_true", help="gzip the log files")
+
+    p_study = sub.add_parser("study", help="run the characterization and print reports")
+    _add_common(p_study)
+    p_study.add_argument("--dataset", type=Path, default=None,
+                         help="directory written by 'synthesize' (default: in-memory)")
+    p_study.add_argument("--h100", action="store_true",
+                         help="also run the Section-6 H100 analysis")
+
+    p_over = sub.add_parser("overprovision", help="run the Section-5.4 sweep")
+    p_over.add_argument("--nodes", type=int, default=800)
+    p_over.add_argument("--seed", type=int, default=7)
+
+    p_fig = sub.add_parser("figures", help="render the paper's figures as SVG")
+    _add_common(p_fig)
+    p_fig.add_argument("--output", type=Path, default=Path("figures"))
+
+    p_exp = sub.add_parser(
+        "experiment", help="run one registered table/figure experiment"
+    )
+    _add_common(p_exp)
+    p_exp.add_argument("id", nargs="?", default=None,
+                       help="experiment id (omit to list)")
+
+    p_mon = sub.add_parser(
+        "monitor",
+        help="stream a log directory through the live coalescer and print "
+        "persistence alarms (the Section-4.3 watchdog)",
+    )
+    p_mon.add_argument("logs", type=Path, help="directory of *.log files")
+    p_mon.add_argument("--alarm-minutes", type=float, default=30.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "synthesize":
+        return _cmd_synthesize(args)
+    if args.command == "study":
+        return _cmd_study(args)
+    if args.command == "overprovision":
+        return _cmd_overprovision(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    return 2
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.datasets import synthesize_delta
+
+    dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    args.output.mkdir(parents=True, exist_ok=True)
+    paths = dataset.write_logs(args.output / "logs", compress=args.compress)
+    dataset.save_slurm_db(args.output / "slurm.jsonl")
+    print(f"wrote {len(paths)} node log files and slurm.jsonl under {args.output}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.core import DeltaStudy, H100Analyzer
+    from repro.core.report import (
+        render_counterfactual,
+        render_figure5,
+        render_figure6,
+        render_figure7,
+        render_figure9,
+        render_table1,
+        render_table2,
+        render_table3,
+    )
+    from repro.datasets import synthesize_delta, synthesize_h100
+    from repro.faults import AMPERE_CALIBRATION
+    from repro.slurm import SlurmDatabase
+    from repro.syslog import read_log_directory
+
+    if args.dataset is not None:
+        lines = read_log_directory(args.dataset / "logs")
+        slurm_db = SlurmDatabase.load(args.dataset / "slurm.jsonl")
+        study = DeltaStudy(
+            lines,
+            window_hours=AMPERE_CALIBRATION.window_days * 24.0 * args.scale,
+            n_nodes=AMPERE_CALIBRATION.reference_node_count,
+            slurm_db=slurm_db,
+        )
+        scale = args.scale
+    else:
+        dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+        study = DeltaStudy.from_dataset(dataset)
+        scale = dataset.config.scale
+
+    stats = study.error_statistics()
+    impact = study.job_impact()
+    availability = study.availability()
+    propagation = study.propagation()
+    print(render_table1(stats, AMPERE_CALIBRATION, scale=scale))
+    print()
+    print(render_figure5(propagation))
+    print()
+    print(render_figure6(propagation))
+    print()
+    print(render_figure7(propagation))
+    print()
+    print(render_table2(impact))
+    print()
+    print(render_table3(impact))
+    print()
+    print(render_figure9(impact, availability))
+    print()
+    print(render_counterfactual(study.counterfactual().analyze()))
+
+    if args.h100:
+        from repro.core import ErrorStatistics
+
+        h100 = synthesize_h100(seed=args.seed)
+        h_study = DeltaStudy.from_dataset(h100)
+        report = H100Analyzer(h_study.error_statistics()).report()
+        print()
+        print("Section 6 - emerging H100 errors")
+        print(f"  counts: {report.counts}")
+        print(f"  MTBE: {report.mtbe_node_hours:,.0f} node-hours (paper 4,114)")
+        print(f"  remap anomaly (DBE/RRF without RRE): {report.has_remap_anomaly}")
+    return 0
+
+
+def _cmd_overprovision(args: argparse.Namespace) -> int:
+    from repro.core import OverprovisionConfig, OverprovisionSimulator
+    from repro.core.report import render_overprovision
+
+    simulator = OverprovisionSimulator(
+        OverprovisionConfig(n_nodes=args.nodes, seed=args.seed)
+    )
+    results = simulator.sweep(
+        recovery_minutes=(5.0, 10.0, 20.0, 40.0),
+        availabilities=(0.995, 0.9987),
+    )
+    print(render_overprovision(results))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core import DeltaStudy, OverprovisionConfig, OverprovisionSimulator
+    from repro.datasets import synthesize_delta
+    from repro.viz import render_all_figures
+
+    dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    study = DeltaStudy.from_dataset(dataset)
+    sweep = OverprovisionSimulator(OverprovisionConfig(n_trials=2)).sweep(
+        recovery_minutes=(5.0, 20.0, 40.0), availabilities=(0.995, 0.9987)
+    )
+    paths = render_all_figures(
+        stats=study.error_statistics(),
+        impact=study.job_impact(),
+        availability=study.availability(),
+        graph=study.propagation().analyze(),
+        sweep=sweep,
+        directory=args.output,
+    )
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.core import DeltaStudy
+    from repro.datasets import synthesize_delta
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.id is None:
+        for experiment in list_experiments():
+            print(f"{experiment.identifier:<10} {experiment.paper_artifact:<18} "
+                  f"{experiment.description}")
+        return 0
+    dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    study = DeltaStudy.from_dataset(dataset)
+    print(run_experiment(args.id, study, scale=args.scale))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.parsing import iter_parse_syslog
+    from repro.core.streaming import StreamingCoalescer
+    from repro.syslog import read_log_directory
+    from repro.util.timeutil import format_duration, format_timestamp
+
+    records = sorted(
+        iter_parse_syslog(read_log_directory(args.logs)), key=lambda r: r.time
+    )
+    coalescer = StreamingCoalescer(alarm_after_seconds=args.alarm_minutes * 60.0)
+    for alarm in coalescer.feed_many(records):
+        print(
+            f"ALARM {format_timestamp(alarm.start_time)} {alarm.node_id} "
+            f"{alarm.pci_bus} XID {alarm.xid}: error open for "
+            f"{format_duration(alarm.open_persistence)} "
+            f"({alarm.n_raw:,} duplicate lines so far)"
+        )
+    errors = coalescer.flush()
+    print(
+        f"stream complete: {len(errors):,} coalesced errors, "
+        f"{len(coalescer.alarms)} persistence alarms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's contribution: the GPU resilience characterization pipeline.
+
+Stage I   — :mod:`repro.core.parsing`: regex extraction of XID records from
+            raw syslog text.
+Stage II  — :mod:`repro.core.coalesce`: Algorithm-1 error coalescing and
+            persistence measurement.
+Stage III — statistics (:mod:`repro.core.mtbe`, :mod:`repro.core.persistence`),
+            propagation graphs (:mod:`repro.core.propagation`), job impact
+            (:mod:`repro.core.jobimpact`), availability
+            (:mod:`repro.core.availability`), scale projection
+            (:mod:`repro.core.overprovision`), counterfactuals
+            (:mod:`repro.core.counterfactual`), and the H100 early view
+            (:mod:`repro.core.h100`).
+
+:mod:`repro.core.pipeline` chains the stages end-to-end;
+:mod:`repro.core.report` renders paper-style tables and figures.
+"""
+
+from repro.core.parsing import RawXidRecord, parse_syslog, parse_line
+from repro.core.coalesce import CoalescedError, coalesce_errors, CoalesceConfig
+from repro.core.mtbe import ErrorStatistics
+from repro.core.persistence import PersistenceAnalyzer
+from repro.core.propagation import PropagationAnalyzer, PropagationGraph
+from repro.core.jobimpact import JobImpactAnalyzer
+from repro.core.availability import AvailabilityAnalyzer
+from repro.core.overprovision import (
+    OverprovisionConfig,
+    OverprovisionSimulator,
+    required_overprovision_analytic,
+)
+from repro.core.counterfactual import CounterfactualAnalyzer
+from repro.core.h100 import H100Analyzer
+from repro.core.pipeline import DeltaStudy, StudyReport
+from repro.core.comparison import GenerationComparison
+from repro.core.prediction import PersistencePredictor, extract_runs
+from repro.core.reliability import (
+    fit_exponential,
+    fit_weibull,
+    mtbe_confidence_interval,
+    trend_test,
+)
+from repro.core.spatial import SpatialAnalyzer, gini_coefficient
+from repro.core.streaming import PersistenceAlarm, StreamingCoalescer
+from repro.core.swo import SwoAnalyzer, SystemWideOutage, delta_swos
+
+__all__ = [
+    "RawXidRecord",
+    "parse_syslog",
+    "parse_line",
+    "CoalescedError",
+    "coalesce_errors",
+    "CoalesceConfig",
+    "ErrorStatistics",
+    "PersistenceAnalyzer",
+    "PropagationAnalyzer",
+    "PropagationGraph",
+    "JobImpactAnalyzer",
+    "AvailabilityAnalyzer",
+    "OverprovisionConfig",
+    "OverprovisionSimulator",
+    "required_overprovision_analytic",
+    "CounterfactualAnalyzer",
+    "H100Analyzer",
+    "DeltaStudy",
+    "StudyReport",
+    "PersistencePredictor",
+    "extract_runs",
+    "PersistenceAlarm",
+    "StreamingCoalescer",
+    "SwoAnalyzer",
+    "SystemWideOutage",
+    "delta_swos",
+    "GenerationComparison",
+    "fit_exponential",
+    "fit_weibull",
+    "mtbe_confidence_interval",
+    "trend_test",
+    "SpatialAnalyzer",
+    "gini_coefficient",
+]

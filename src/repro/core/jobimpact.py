@@ -1,0 +1,272 @@
+"""Job-impact analysis (paper Section 5, Tables 2-3, Figures 9a-9b).
+
+Joins the Slurm accounting database against coalesced GPU errors:
+
+* **encounters** — a job encounters an XID if an error of that code occurs
+  on one of its allocated GPUs during its runtime;
+* **GPU-failed classification** — a job is *GPU-failed* if it did not
+  complete and a GPU error occurred on its allocation within the 20-second
+  window before its end time; every code in that window is considered
+  responsible (paper Section 5.3);
+* **Table 2** — per-XID job-failure probability;
+* **Table 3** — job-size buckets with elapsed statistics and ML/non-ML
+  GPU-hours (ML-ness inferred from the submission name, as in the paper);
+* **Figures 9a/9b** — elapsed-time histograms of completed vs GPU-failed
+  jobs, and error-encounter counts vs duration.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.coalesce import CoalescedError
+from repro.faults.xid import XID_CATALOG, Xid
+from repro.slurm.accounting import SlurmDatabase
+from repro.slurm.job import GpuKey, JobRecord
+from repro.slurm.workload import SIZE_BUCKETS, classify_ml
+
+#: The paper's attribution window: an error within this many seconds before
+#: a job's failure is considered responsible.
+ATTRIBUTION_WINDOW = 20.0
+
+_KNOWN = {int(x) for x in Xid}
+
+
+def _studied(xid: int) -> bool:
+    return xid in _KNOWN and XID_CATALOG[Xid(xid)].studied
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    xid: int
+    gpu_failed_jobs: int
+    jobs_encountering: int
+
+    @property
+    def failure_probability(self) -> float:
+        if self.jobs_encountering == 0:
+            return float("nan")
+        return self.gpu_failed_jobs / self.jobs_encountering
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    label: str
+    count: int
+    share: float
+    mean_minutes: float
+    p50_minutes: float
+    p99_minutes: float
+    ml_gpu_hours: float
+    non_ml_gpu_hours: float
+
+
+@dataclass(frozen=True)
+class ElapsedHistogram:
+    """Figure 9a: completed vs GPU-failed job counts per elapsed-time bin."""
+
+    edges_minutes: Tuple[float, ...]
+    completed: Tuple[int, ...]
+    gpu_failed: Tuple[int, ...]
+
+
+class JobImpactAnalyzer:
+    """Correlate GPU errors with user jobs."""
+
+    def __init__(
+        self,
+        database: SlurmDatabase,
+        errors: Sequence[CoalescedError],
+        attribution_window: float = ATTRIBUTION_WINDOW,
+    ) -> None:
+        self.database = database
+        self.attribution_window = attribution_window
+        self.errors = [e for e in errors if _studied(e.xid)]
+        # Per-GPU time index over errors for range queries.
+        self._gpu_times: Dict[GpuKey, np.ndarray] = {}
+        self._gpu_xids: Dict[GpuKey, np.ndarray] = {}
+        per_gpu: Dict[GpuKey, List[Tuple[float, int]]] = {}
+        for error in self.errors:
+            per_gpu.setdefault(error.gpu_key, []).append((error.time, error.xid))
+        for gpu, pairs in per_gpu.items():
+            pairs.sort()
+            self._gpu_times[gpu] = np.array([t for t, _ in pairs])
+            self._gpu_xids[gpu] = np.array([x for _, x in pairs], dtype=np.int64)
+        self._classified: Optional[Dict[int, Tuple[bool, Tuple[int, ...]]]] = None
+
+    # ------------------------------------------------------------------
+    # Core joins
+    # ------------------------------------------------------------------
+
+    def errors_on_job(
+        self, job: JobRecord, start: float | None = None, end: float | None = None
+    ) -> List[int]:
+        """XIDs of errors on the job's allocation within [start, end]."""
+        lo = job.start_time if start is None else start
+        hi = job.end_time if end is None else end
+        found: List[int] = []
+        for gpu in job.gpus:
+            times = self._gpu_times.get(gpu)
+            if times is None:
+                continue
+            left = int(np.searchsorted(times, lo, side="left"))
+            right = int(np.searchsorted(times, hi, side="right"))
+            found.extend(int(x) for x in self._gpu_xids[gpu][left:right])
+        return found
+
+    def classify_jobs(self) -> Dict[int, Tuple[bool, Tuple[int, ...]]]:
+        """Per job: (is GPU-failed, responsible XIDs).
+
+        A job is GPU-failed when it did not succeed and at least one studied
+        error hit its allocation within the attribution window before its
+        end; the responsible set is every code in that window.
+        """
+        if self._classified is not None:
+            return self._classified
+        out: Dict[int, Tuple[bool, Tuple[int, ...]]] = {}
+        for job in self.database.jobs:
+            if job.succeeded:
+                out[job.job_id] = (False, ())
+                continue
+            responsible = self.errors_on_job(
+                job, start=job.end_time - self.attribution_window, end=job.end_time
+            )
+            out[job.job_id] = (bool(responsible), tuple(sorted(set(responsible))))
+        self._classified = out
+        return out
+
+    def gpu_failed_jobs(self) -> List[JobRecord]:
+        classified = self.classify_jobs()
+        return [j for j in self.database.jobs if classified[j.job_id][0]]
+
+    # ------------------------------------------------------------------
+    # Table 2
+    # ------------------------------------------------------------------
+
+    def table2(self) -> List[Table2Row]:
+        classified = self.classify_jobs()
+        encountering: Dict[int, Set[int]] = {}
+        failed: Dict[int, Set[int]] = {}
+        for job in self.database.jobs:
+            xids_seen = set(self.errors_on_job(job))
+            for xid in xids_seen:
+                encountering.setdefault(xid, set()).add(job.job_id)
+            is_failed, responsible = classified[job.job_id]
+            if is_failed:
+                for xid in responsible:
+                    failed.setdefault(xid, set()).add(job.job_id)
+                    # A job can fail on an error arriving in its final
+                    # seconds that the runtime join above also counts; make
+                    # sure the denominator includes every failing job.
+                    encountering.setdefault(xid, set()).add(job.job_id)
+        rows = [
+            Table2Row(
+                xid=xid,
+                gpu_failed_jobs=len(failed.get(xid, set())),
+                jobs_encountering=len(jobs),
+            )
+            for xid, jobs in encountering.items()
+        ]
+        rows.sort(key=lambda r: r.gpu_failed_jobs, reverse=True)
+        return rows
+
+    def total_gpu_failed(self) -> int:
+        return len(self.gpu_failed_jobs())
+
+    # ------------------------------------------------------------------
+    # Table 3
+    # ------------------------------------------------------------------
+
+    def table3(self) -> List[Table3Row]:
+        total = len(self.database.jobs) or 1
+        rows: List[Table3Row] = []
+        for bucket in SIZE_BUCKETS:
+            jobs = [
+                j
+                for j in self.database.jobs
+                if bucket.min_gpus <= j.n_gpus <= bucket.max_gpus
+            ]
+            if not jobs:
+                rows.append(Table3Row(bucket.label, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+                continue
+            elapsed = np.array([j.elapsed_minutes for j in jobs])
+            ml_hours = sum(j.gpu_hours for j in jobs if classify_ml(j.name))
+            non_ml_hours = sum(j.gpu_hours for j in jobs if not classify_ml(j.name))
+            rows.append(
+                Table3Row(
+                    label=bucket.label,
+                    count=len(jobs),
+                    share=len(jobs) / total,
+                    mean_minutes=float(elapsed.mean()),
+                    p50_minutes=float(np.percentile(elapsed, 50)),
+                    p99_minutes=float(np.percentile(elapsed, 99)),
+                    ml_gpu_hours=ml_hours,
+                    non_ml_gpu_hours=non_ml_hours,
+                )
+            )
+        return rows
+
+    def success_rate(self) -> float:
+        return self.database.success_rate()
+
+    # ------------------------------------------------------------------
+    # Figures 9a / 9b
+    # ------------------------------------------------------------------
+
+    def elapsed_histogram(
+        self, edges_minutes: Sequence[float] = (0, 10, 60, 240, 1000, 2000, 4000, 8000)
+    ) -> ElapsedHistogram:
+        classified = self.classify_jobs()
+        completed_elapsed = [
+            j.elapsed_minutes for j in self.database.jobs if j.succeeded
+        ]
+        failed_elapsed = [
+            j.elapsed_minutes
+            for j in self.database.jobs
+            if classified[j.job_id][0]
+        ]
+        edges = np.asarray(edges_minutes, dtype=float)
+        completed, _ = np.histogram(completed_elapsed, bins=edges)
+        failed, _ = np.histogram(failed_elapsed, bins=edges)
+        return ElapsedHistogram(
+            edges_minutes=tuple(edges),
+            completed=tuple(int(c) for c in completed),
+            gpu_failed=tuple(int(c) for c in failed),
+        )
+
+    def lost_node_hours(self) -> float:
+        """Node-hours of work wasted in GPU-failed jobs (paper: ~7,500)."""
+        return sum(j.node_hours for j in self.gpu_failed_jobs())
+
+    def errors_vs_duration(
+        self, edges_minutes: Sequence[float] = (0, 60, 500, 1000, 2000, 4000, 90000)
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Figure 9b: mean errors encountered per duration bin, for
+        completed and GPU-failed jobs."""
+        classified = self.classify_jobs()
+        edges = list(edges_minutes)
+        sums = {"completed": [0.0] * (len(edges) - 1), "gpu_failed": [0.0] * (len(edges) - 1)}
+        counts = {"completed": [0] * (len(edges) - 1), "gpu_failed": [0] * (len(edges) - 1)}
+        for job in self.database.jobs:
+            is_failed = classified[job.job_id][0]
+            if not is_failed and not job.succeeded:
+                continue  # non-GPU failures are out of scope for this figure
+            key = "gpu_failed" if is_failed else "completed"
+            n_errors = len(self.errors_on_job(job))
+            b = bisect_right(edges, job.elapsed_minutes) - 1
+            if 0 <= b < len(edges) - 1:
+                sums[key][b] += n_errors
+                counts[key][b] += 1
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for key in ("completed", "gpu_failed"):
+            series = []
+            for b in range(len(edges) - 1):
+                mid = (edges[b] + edges[b + 1]) / 2.0
+                mean = sums[key][b] / counts[key][b] if counts[key][b] else 0.0
+                series.append((mid, mean))
+            out[key] = series
+        return out

@@ -1,0 +1,124 @@
+"""End-to-end study pipeline (paper Figure 4).
+
+``DeltaStudy`` chains the stages — extraction, coalescing, statistics,
+propagation, job impact, availability, counterfactuals — over one dataset's
+observables (raw log lines + Slurm database).  It never touches generation
+ground truth, so paper-vs-measured comparisons are genuine inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.availability import AvailabilityAnalyzer, AvailabilityReport
+from repro.core.coalesce import CoalesceConfig, CoalescedError, coalesce_errors
+from repro.core.counterfactual import CounterfactualAnalyzer, CounterfactualReport
+from repro.core.jobimpact import JobImpactAnalyzer
+from repro.core.mtbe import ErrorStatistics
+from repro.core.parsing import parse_syslog
+from repro.core.persistence import PersistenceAnalyzer
+from repro.core.propagation import PropagationAnalyzer, PropagationGraph
+from repro.slurm.accounting import SlurmDatabase
+
+
+@dataclass
+class StudyReport:
+    """Everything Stage III produces, bundled for report rendering."""
+
+    statistics: ErrorStatistics
+    persistence: PersistenceAnalyzer
+    propagation_graph: PropagationGraph
+    propagation: PropagationAnalyzer
+    job_impact: Optional[JobImpactAnalyzer]
+    availability: Optional[AvailabilityReport]
+    counterfactual: Optional[CounterfactualReport]
+
+
+class DeltaStudy:
+    """Run the characterization pipeline over one dataset's observables."""
+
+    def __init__(
+        self,
+        log_lines: Iterable[str],
+        *,
+        window_hours: float,
+        n_nodes: int,
+        slurm_db: SlurmDatabase | None = None,
+        coalesce_config: CoalesceConfig | None = None,
+        propagation_window: float = 60.0,
+    ) -> None:
+        self.window_hours = window_hours
+        self.n_nodes = n_nodes
+        self.slurm_db = slurm_db
+        self.coalesce_config = coalesce_config or CoalesceConfig()
+        self.propagation_window = propagation_window
+        self._raw_lines = log_lines
+        self._errors: Optional[List[CoalescedError]] = None
+
+    @classmethod
+    def from_dataset(cls, dataset, **kwargs) -> "DeltaStudy":
+        """Build from a :class:`repro.datasets.DeltaDataset`."""
+        return cls(
+            dataset.log_lines(),
+            window_hours=dataset.window_seconds / 3600.0,
+            n_nodes=dataset.reference_node_count,
+            slurm_db=dataset.slurm_db,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[CoalescedError]:
+        """Stage I + II: parse then coalesce (cached)."""
+        if self._errors is None:
+            records = parse_syslog(self._raw_lines)
+            self._errors = coalesce_errors(records, self.coalesce_config)
+        return self._errors
+
+    def error_statistics(self) -> ErrorStatistics:
+        return ErrorStatistics(self.errors, self.window_hours, self.n_nodes)
+
+    def persistence(self) -> PersistenceAnalyzer:
+        stats = self.error_statistics()
+        return PersistenceAnalyzer(stats.errors)
+
+    def propagation(self) -> PropagationAnalyzer:
+        stats = self.error_statistics()
+        return PropagationAnalyzer(stats.errors, window=self.propagation_window)
+
+    def job_impact(self) -> JobImpactAnalyzer:
+        if self.slurm_db is None:
+            raise ValueError("job impact analysis requires a Slurm database")
+        return JobImpactAnalyzer(self.slurm_db, self.errors)
+
+    def availability(self) -> AvailabilityAnalyzer:
+        if self.slurm_db is None:
+            raise ValueError("availability analysis requires node events")
+        return AvailabilityAnalyzer(self.slurm_db.node_events, self.error_statistics())
+
+    def counterfactual(self) -> CounterfactualAnalyzer:
+        mttr = (
+            self.availability().mttr_hours() if self.slurm_db is not None else 0.3
+        )
+        return CounterfactualAnalyzer(self.error_statistics(), mttr_hours=mttr)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> StudyReport:
+        """Execute every stage and bundle the results."""
+        propagation = self.propagation()
+        return StudyReport(
+            statistics=self.error_statistics(),
+            persistence=self.persistence(),
+            propagation=propagation,
+            propagation_graph=propagation.analyze(),
+            job_impact=self.job_impact() if self.slurm_db is not None else None,
+            availability=(
+                self.availability().report() if self.slurm_db is not None else None
+            ),
+            counterfactual=self.counterfactual().analyze(),
+        )

@@ -1,0 +1,219 @@
+"""Predicting long-persisting errors from their first seconds.
+
+The paper's forward-looking suggestion (Section 4.3): "A potential solution
+would be to develop an ML model (e.g., a Bayesian model) to predict the
+onset of these long persisting errors for preventive actions."
+
+This module implements that model end-to-end on the reproduction's data:
+
+* features are computed from the first ``observe_seconds`` of each error's
+  duplicate-line run — information genuinely available online;
+* the label is whether the run ultimately persists beyond a threshold;
+* the classifier is a small logistic regression trained by gradient
+  descent (NumPy only), with a Laplace-smoothed per-XID prior as one of
+  the features (the "Bayesian" ingredient).
+
+See ``benchmarks/test_bench_prediction.py`` for the precision/recall it
+achieves on held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parsing import RawXidRecord
+
+GroupKey = Tuple[str, str, int, str]
+
+
+@dataclass(frozen=True)
+class RunExample:
+    """One error run: online features plus the (offline) label."""
+
+    xid: int
+    gpu_key: Tuple[str, str]
+    start_time: float
+    #: Lines observed within the observation window.
+    early_lines: int
+    #: Mean inter-line gap inside the observation window (seconds).
+    early_mean_gap: float
+    #: Span from the run's first line to its last line inside the window —
+    #: a run still emitting at the window's edge is the strongest live
+    #: signal that it will keep persisting.
+    early_span: float
+    #: Errors previously seen on the same GPU (any code) — repeat offenders
+    #: keep offending.
+    gpu_prior_runs: int
+    #: Ground truth: final persistence in seconds.
+    final_persistence: float
+
+
+def extract_runs(
+    records: Iterable[RawXidRecord],
+    *,
+    window_seconds: float = 5.0,
+    observe_seconds: float = 300.0,
+) -> List[RunExample]:
+    """Group raw records into runs and compute online features per run."""
+    per_group: Dict[GroupKey, List[float]] = {}
+    for record in records:
+        key = (record.node_id, record.pci_bus, record.xid, record.message)
+        per_group.setdefault(key, []).append(record.time)
+
+    # Split each group into runs with the coalescing gap rule.
+    raw_runs: List[Tuple[GroupKey, np.ndarray]] = []
+    for key, times in per_group.items():
+        arr = np.sort(np.asarray(times))
+        breaks = np.nonzero(np.diff(arr) > window_seconds)[0]
+        start = 0
+        for b in list(breaks) + [arr.size - 1]:
+            raw_runs.append((key, arr[start : b + 1]))
+            start = b + 1
+
+    raw_runs.sort(key=lambda pair: pair[1][0])
+    gpu_seen: Dict[Tuple[str, str], int] = {}
+    examples: List[RunExample] = []
+    for (node_id, pci_bus, xid, _msg), times in raw_runs:
+        gpu = (node_id, pci_bus)
+        early = times[times <= times[0] + observe_seconds]
+        gaps = np.diff(early)
+        examples.append(
+            RunExample(
+                xid=xid,
+                gpu_key=gpu,
+                start_time=float(times[0]),
+                early_lines=int(early.size),
+                early_mean_gap=float(gaps.mean()) if gaps.size else observe_seconds,
+                early_span=float(early[-1] - early[0]),
+                gpu_prior_runs=gpu_seen.get(gpu, 0),
+                final_persistence=float(times[-1] - times[0]),
+            )
+        )
+        gpu_seen[gpu] = gpu_seen.get(gpu, 0) + 1
+    return examples
+
+
+class PersistencePredictor:
+    """Logistic regression over online run features."""
+
+    def __init__(
+        self,
+        long_threshold_seconds: float = 600.0,
+        learning_rate: float = 0.3,
+        epochs: int = 400,
+        l2: float = 1e-3,
+    ) -> None:
+        self.long_threshold_seconds = long_threshold_seconds
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+        self._xid_prior: Dict[int, float] = {}
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def labels(self, examples: Sequence[RunExample]) -> np.ndarray:
+        return np.array(
+            [e.final_persistence > self.long_threshold_seconds for e in examples],
+            dtype=float,
+        )
+
+    def _fit_priors(self, examples: Sequence[RunExample], labels: np.ndarray) -> None:
+        """Laplace-smoothed P(long | XID): the Bayesian prior feature."""
+        totals: Dict[int, int] = {}
+        longs: Dict[int, int] = {}
+        for example, label in zip(examples, labels):
+            totals[example.xid] = totals.get(example.xid, 0) + 1
+            longs[example.xid] = longs.get(example.xid, 0) + int(label)
+        self._xid_prior = {
+            xid: (longs.get(xid, 0) + 1.0) / (count + 2.0)
+            for xid, count in totals.items()
+        }
+
+    def _features(self, examples: Sequence[RunExample]) -> np.ndarray:
+        rows = np.array(
+            [
+                [
+                    1.0,  # bias
+                    self._xid_prior.get(e.xid, 0.5),
+                    np.log1p(e.early_lines),
+                    e.early_mean_gap,
+                    e.early_span,
+                    np.log1p(e.gpu_prior_runs),
+                ]
+                for e in examples
+            ]
+        )
+        return rows
+
+    def fit(self, examples: Sequence[RunExample]) -> "PersistencePredictor":
+        if not examples:
+            raise ValueError("cannot fit on an empty example set")
+        labels = self.labels(examples)
+        self._fit_priors(examples, labels)
+        features = self._features(examples)
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = features.std(axis=0) + 1e-9
+        self._feature_mean[0] = 0.0  # keep the bias column as-is
+        self._feature_std[0] = 1.0
+        normalized = (features - self._feature_mean) / self._feature_std
+
+        # Class-balanced sample weights: long-persisting runs are ~1-2% of
+        # the stream (exactly the paper's tail), so unweighted training
+        # would predict "short" everywhere.
+        n_positive = max(labels.sum(), 1.0)
+        n_negative = max((1.0 - labels).sum(), 1.0)
+        sample_weight = np.where(
+            labels > 0.5, n_negative / n_positive, 1.0
+        )
+        sample_weight = sample_weight / sample_weight.mean()
+
+        weights = np.zeros(normalized.shape[1])
+        n = normalized.shape[0]
+        for _ in range(self.epochs):
+            scores = normalized @ weights
+            probabilities = 1.0 / (1.0 + np.exp(-scores))
+            gradient = (
+                normalized.T @ ((probabilities - labels) * sample_weight) / n
+                + self.l2 * weights
+            )
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        return self
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, examples: Sequence[RunExample]) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("predictor is not fitted")
+        features = self._features(examples)
+        normalized = (features - self._feature_mean) / self._feature_std
+        return 1.0 / (1.0 + np.exp(-(normalized @ self.weights)))
+
+    def predict(self, examples: Sequence[RunExample], threshold: float = 0.5) -> np.ndarray:
+        return self.predict_proba(examples) >= threshold
+
+    def evaluate(
+        self, examples: Sequence[RunExample], threshold: float = 0.5
+    ) -> Dict[str, float]:
+        """Precision / recall / accuracy on a labelled example set."""
+        labels = self.labels(examples).astype(bool)
+        predictions = self.predict(examples, threshold)
+        tp = int(np.sum(predictions & labels))
+        fp = int(np.sum(predictions & ~labels))
+        fn = int(np.sum(~predictions & labels))
+        precision = tp / (tp + fp) if tp + fp else float("nan")
+        recall = tp / (tp + fn) if tp + fn else float("nan")
+        accuracy = float(np.mean(predictions == labels))
+        return {
+            "precision": precision,
+            "recall": recall,
+            "accuracy": accuracy,
+            "positives": int(labels.sum()),
+            "predicted_positives": int(predictions.sum()),
+        }

@@ -1,0 +1,235 @@
+"""Reliability statistics beyond point estimates.
+
+The paper reports MTBE as a point value; for operational decisions (GPU
+replacement, capacity planning) the *uncertainty* and the *shape* of the
+inter-error process matter:
+
+* :func:`mtbe_confidence_interval` — bootstrap CI on the mean time between
+  errors;
+* :func:`fit_exponential` / :func:`fit_weibull` — maximum-likelihood fits
+  of inter-arrival times.  A Weibull shape < 1 means a *decreasing* hazard
+  (bursty/infant-mortality errors — what defective offender GPUs produce);
+  shape ≈ 1 means memoryless arrivals (random background faults);
+* :func:`trend_test` — a Laplace trend test for reliability growth or
+  decay over the observation window (did the burn-in replacements help?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coalesce import CoalescedError
+from repro.util.validation import check_probability
+
+
+def interarrival_times(errors: Sequence[CoalescedError]) -> np.ndarray:
+    """Sorted inter-arrival gaps (seconds) of an error stream."""
+    times = np.sort(np.array([e.time for e in errors]))
+    if times.size < 2:
+        return np.zeros(0)
+    return np.diff(times)
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap MTBE confidence interval
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def relative_width(self) -> float:
+        return (self.high - self.low) / self.point if self.point else float("inf")
+
+
+def mtbe_confidence_interval(
+    errors: Sequence[CoalescedError],
+    *,
+    confidence: float = 0.95,
+    n_bootstrap: int = 2_000,
+    seed: int = 7,
+) -> ConfidenceInterval:
+    """Bootstrap CI on the mean inter-arrival time (in hours)."""
+    check_probability("confidence", confidence)
+    gaps = interarrival_times(errors)
+    if gaps.size < 2:
+        raise ValueError("need at least three errors for an interval")
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(gaps, size=(n_bootstrap, gaps.size), replace=True)
+    means = samples.mean(axis=1) / 3600.0
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        point=float(gaps.mean() / 3600.0),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distribution fits
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    rate_per_hour: float
+    log_likelihood: float
+
+    @property
+    def mean_hours(self) -> float:
+        return 1.0 / self.rate_per_hour if self.rate_per_hour else float("inf")
+
+
+def fit_exponential(gaps_seconds: np.ndarray) -> ExponentialFit:
+    """MLE exponential fit of inter-arrival gaps."""
+    gaps = np.asarray(gaps_seconds, dtype=float)
+    gaps = gaps[gaps > 0]
+    if gaps.size == 0:
+        raise ValueError("no positive gaps to fit")
+    hours = gaps / 3600.0
+    rate = 1.0 / hours.mean()
+    log_likelihood = float(np.sum(np.log(rate) - rate * hours))
+    return ExponentialFit(rate_per_hour=float(rate), log_likelihood=log_likelihood)
+
+
+@dataclass(frozen=True)
+class WeibullFit:
+    shape: float  # k < 1: bursty / decreasing hazard; k = 1: exponential
+    scale_hours: float
+    log_likelihood: float
+
+    @property
+    def is_bursty(self) -> bool:
+        return self.shape < 0.95
+
+    @property
+    def is_memoryless(self) -> bool:
+        return 0.95 <= self.shape <= 1.05
+
+
+def fit_weibull(
+    gaps_seconds: np.ndarray, *, iterations: int = 200
+) -> WeibullFit:
+    """MLE Weibull fit via Newton iteration on the shape parameter."""
+    gaps = np.asarray(gaps_seconds, dtype=float)
+    gaps = gaps[gaps > 0] / 3600.0
+    if gaps.size < 3:
+        raise ValueError("need at least three positive gaps")
+    log_x = np.log(gaps)
+    k = 1.0
+    for _ in range(iterations):
+        xk = gaps**k
+        a = float(np.sum(xk * log_x) / np.sum(xk))
+        b = float(log_x.mean())
+        f = 1.0 / k - (a - b)
+        # df/dk:
+        d_a = (
+            float(np.sum(xk * log_x**2) / np.sum(xk))
+            - a**2
+        )
+        derivative = -1.0 / k**2 - d_a
+        step = f / derivative
+        k_next = k - step
+        if not np.isfinite(k_next) or k_next <= 0:
+            k_next = k / 2.0
+        if abs(k_next - k) < 1e-10:
+            k = k_next
+            break
+        k = k_next
+    scale = float((gaps**k).mean() ** (1.0 / k))
+    log_likelihood = float(
+        np.sum(
+            np.log(k / scale)
+            + (k - 1) * np.log(gaps / scale)
+            - (gaps / scale) ** k
+        )
+    )
+    return WeibullFit(shape=float(k), scale_hours=scale, log_likelihood=log_likelihood)
+
+
+# ---------------------------------------------------------------------------
+# Rolling-window view
+# ---------------------------------------------------------------------------
+
+
+def rolling_mtbe(
+    errors: Sequence[CoalescedError],
+    window_seconds: float,
+    *,
+    bucket_days: float = 30.0,
+    n_nodes: int = 1,
+) -> list:
+    """Per-bucket (e.g. monthly) per-node MTBE over the observation window.
+
+    Returns ``[(bucket_midpoint_seconds, mtbe_node_hours), ...]``; empty
+    buckets report infinity.  The fleet-health time series operators track.
+    """
+    if window_seconds <= 0 or bucket_days <= 0 or n_nodes <= 0:
+        raise ValueError("window, bucket size, and node count must be positive")
+    bucket_seconds = bucket_days * 86_400.0
+    edges = np.arange(0.0, window_seconds + bucket_seconds, bucket_seconds)
+    times = np.array([e.time for e in errors])
+    counts, _ = np.histogram(times, bins=edges)
+    bucket_node_hours = (bucket_seconds / 3600.0) * n_nodes
+    out = []
+    for i, count in enumerate(counts):
+        midpoint = (edges[i] + edges[i + 1]) / 2.0
+        mtbe = bucket_node_hours / count if count else float("inf")
+        out.append((float(midpoint), float(mtbe)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Trend test
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrendResult:
+    """Laplace trend statistic over the observation window.
+
+    Negative values: arrivals concentrate early (reliability *growth* —
+    e.g. burn-in replacements working).  Positive: decay.  |u| < 1.96 is
+    consistent with a stationary Poisson process at 5% significance.
+    """
+
+    statistic: float
+    n_events: int
+
+    @property
+    def improving(self) -> bool:
+        return self.statistic < -1.96
+
+    @property
+    def degrading(self) -> bool:
+        return self.statistic > 1.96
+
+    @property
+    def stationary(self) -> bool:
+        return abs(self.statistic) <= 1.96
+
+
+def trend_test(
+    errors: Sequence[CoalescedError], window_seconds: float
+) -> TrendResult:
+    """The Laplace test: u = (mean(t)/T - 1/2) * sqrt(12 n)."""
+    times = np.array([e.time for e in errors], dtype=float)
+    n = times.size
+    if n < 3:
+        raise ValueError("need at least three errors for a trend test")
+    if window_seconds <= 0:
+        raise ValueError("window must be positive")
+    u = (times.mean() / window_seconds - 0.5) * np.sqrt(12.0 * n)
+    return TrendResult(statistic=float(u), n_events=int(n))

@@ -1,0 +1,328 @@
+"""Paper-style report rendering.
+
+Each ``render_*`` function returns a monospace-text reproduction of one of
+the paper's tables or figures, with a "paper" column next to the measured
+values wherever the paper published a number, so benchmark output doubles as
+the EXPERIMENTS.md comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.availability import AvailabilityAnalyzer, AvailabilityReport
+from repro.core.counterfactual import CounterfactualReport
+from repro.core.jobimpact import JobImpactAnalyzer, Table2Row, Table3Row
+from repro.core.mtbe import ErrorStatistics
+from repro.core.persistence import PersistenceAnalyzer
+from repro.core.propagation import NVLinkInvolvement, PropagationAnalyzer
+from repro.faults.calibration import (
+    CalibrationProfile,
+    PAPER_TABLE2,
+    PAPER_TOTAL_ERRORS,
+    PAPER_OVERALL_MTBE_NODE_HOURS,
+)
+from repro.faults.xid import XID_CATALOG, Xid
+from repro.slurm.workload import SIZE_BUCKETS
+from repro.util.tables import Table
+
+
+def _abbrev(xid: int) -> str:
+    try:
+        return XID_CATALOG[Xid(xid)].abbreviation
+    except (ValueError, KeyError):
+        return f"XID {xid}"
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def render_table1(
+    stats: ErrorStatistics,
+    profile: Optional[CalibrationProfile] = None,
+    scale: float = 1.0,
+) -> str:
+    """Measured Table 1 with the paper's values alongside (count column
+    scaled by the dataset's window scale)."""
+    table = Table(
+        "Table 1 - GPU resilience statistics (measured vs paper)",
+        [
+            "XID", "Event", "Count", "Count(paper*)",
+            "MTBE all (h)", "MTBE/node (h)", "MTBE/node paper",
+            "Pers. mean", "P50", "P95", "mean paper", "P50 paper", "P95 paper",
+        ],
+    )
+    for row in stats.table1_rows():
+        cal = profile.xids.get(Xid(row.xid)) if profile and row.xid in {
+            int(x) for x in Xid} else None
+        table.add_row(
+            row.xid,
+            _abbrev(row.xid),
+            row.count,
+            round(cal.count * scale) if cal else "-",
+            row.mtbe_all_nodes_hours,
+            row.mtbe_per_node_hours,
+            cal.paper_mtbe_per_node_hours if cal else "-",
+            row.persistence.mean,
+            row.persistence.p50,
+            row.persistence.p95,
+            cal.paper_persistence_mean if cal else "-",
+            cal.paper_persistence_p50 if cal else "-",
+            cal.paper_persistence_p95 if cal else "-",
+        )
+    footer = (
+        f"\nTotal errors: {stats.total_count:,} (paper {PAPER_TOTAL_ERRORS:,} x scale)"
+        f"\nOverall per-node MTBE: {stats.overall_mtbe_node_hours():.1f} node-hours "
+        f"(paper {PAPER_OVERALL_MTBE_NODE_HOURS:.0f})"
+        f"\nMemory vs hardware MTBE ratio: {stats.memory_vs_hardware_ratio():.1f}x "
+        "(paper: >30x)"
+        f"\nExcluded user-induced records (XID 13/43): {stats.excluded_count:,}"
+    )
+    return table.render() + footer
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+def render_table2(impact: JobImpactAnalyzer) -> str:
+    table = Table(
+        "Table 2 - job failure probability given an XID (measured vs paper)",
+        ["XID", "GPU Error", "#GPU-failed", "#Encountering",
+         "P(fail|XID) %", "paper %"],
+    )
+    for row in impact.table2():
+        paper = PAPER_TABLE2.get(Xid(row.xid)) if row.xid in {int(x) for x in Xid} else None
+        table.add_row(
+            row.xid,
+            _abbrev(row.xid),
+            row.gpu_failed_jobs,
+            row.jobs_encountering,
+            row.failure_probability * 100.0,
+            paper[2] if paper else "-",
+        )
+    footer = (
+        f"\nTotal GPU-failed jobs: {impact.total_gpu_failed():,} (paper 4,322 x scale)"
+        f"\nJob success rate: {impact.success_rate()*100:.2f}% (paper 74.68%)"
+    )
+    return table.render() + footer
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+
+def render_table3(impact: JobImpactAnalyzer) -> str:
+    table = Table(
+        "Table 3 - job distribution and elapsed statistics (measured vs paper)",
+        ["GPUs", "Count", "Share %", "paper %", "Mean (min)", "paper",
+         "P50", "paper", "P99", "paper", "ML kGPUh", "non-ML kGPUh"],
+    )
+    paper = {b.label: b for b in SIZE_BUCKETS}
+    for row in impact.table3():
+        ref = paper.get(row.label)
+        table.add_row(
+            row.label,
+            row.count,
+            row.share * 100.0,
+            ref.count_share * 100.0 if ref else "-",
+            row.mean_minutes,
+            ref.mean_minutes if ref else "-",
+            row.p50_minutes,
+            ref.p50_minutes if ref else "-",
+            row.p99_minutes,
+            ref.p99_minutes if ref else "-",
+            row.ml_gpu_hours / 1000.0,
+            row.non_ml_gpu_hours / 1000.0,
+        )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7 (propagation)
+# ---------------------------------------------------------------------------
+
+
+def render_figure5(propagation: PropagationAnalyzer) -> str:
+    """Intra-GPU hardware propagation (paper Figure 5)."""
+    h = propagation.hardware_paths()
+    lines = [
+        "Figure 5 - intra-GPU hardware error propagation (measured vs paper)",
+        f"  GSP -> self/inoperable : {h['p_gsp_self_or_terminal']:.2f}   (paper 0.99)",
+        f"  GSP -> PMU SPI         : {h['p_gsp_to_pmu']:.3f}  (paper 0.01)",
+        f"  GSP isolated (no pred) : {h['p_gsp_isolated']:.2f}   (paper 0.99)",
+        f"  PMU SPI -> MMU         : {h['p_pmu_to_mmu']:.2f}   (paper 0.82)"
+        f"  [mean {h['t_pmu_to_mmu']:.1f}s]",
+        f"  PMU SPI -> PMU SPI     : {h['p_pmu_self']:.2f}   (paper 0.18)",
+    ]
+    return "\n".join(lines)
+
+
+def render_figure6(propagation: PropagationAnalyzer) -> str:
+    """NVLink intra/inter-GPU propagation (paper Figure 6)."""
+    h = propagation.hardware_paths()
+    involvement = propagation.nvlink_involvement()
+    error_state = max(0.0, h["p_nvlink_terminal"] - h["p_nvlink_inter"])
+    lines = [
+        "Figure 6 - NVLink error propagation (measured vs paper)",
+        f"  NVLink -> NVLink (same GPU) : {h['p_nvlink_self']:.2f}  (paper 0.66)",
+        f"  NVLink -> peer GPU          : {h['p_nvlink_inter']:.2f}  (paper 0.14)",
+        f"  NVLink -> GPU error state   : {error_state:.2f}  (paper 0.20)",
+        f"  errors in single-GPU incidents : {involvement.single_gpu_fraction*100:.0f}%"
+        "  (paper 84-86%)",
+        f"  errors in >=2-GPU incidents    : {involvement.multi_gpu_fraction*100:.0f}%"
+        "  (paper 14-16%)",
+        f"  errors in >=4-GPU incidents    : "
+        f"{(involvement.errors_in_4plus_gpu_incidents / involvement.total_errors * 100) if involvement.total_errors else 0:.0f}%"
+        "  (paper ~5%)",
+        f"  errors in all-8-GPU incidents  : {involvement.errors_in_all8_incidents}"
+        "  (paper 35)",
+    ]
+    return "\n".join(lines)
+
+
+def render_figure7(propagation: PropagationAnalyzer) -> str:
+    """DBE recovery tree (paper Figure 7)."""
+    m = propagation.memory_recovery_paths()
+    lines = [
+        "Figure 7 - intra-GPU uncorrectable memory error recovery (measured vs paper)",
+        f"  DBE -> RRE (remap ok)     : {m['p_dbe_to_rre']:.2f}  (paper 0.50)",
+        f"  DBE -> RRF (remap failed) : {m['p_dbe_to_rrf']:.2f}  (paper ~0.47)",
+        f"  RRF -> Contained          : {m['p_rrf_to_contained']:.2f}  (paper 0.43)",
+        f"  RRF -> Uncontained        : {m['p_rrf_to_uncontained']:.2f}  (paper ~0.11)",
+        f"  RRF -> inoperable (term.) : {m['p_rrf_terminal']:.2f}  (paper 0.46)",
+        f"  DBE impact alleviated     : {m['dbe_alleviated']*100:.1f}%  (paper 70.6%)",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 + availability
+# ---------------------------------------------------------------------------
+
+
+def render_figure9(
+    impact: JobImpactAnalyzer, availability: AvailabilityAnalyzer
+) -> str:
+    histogram = impact.elapsed_histogram()
+    lines = ["Figure 9a - jobs vs elapsed time (completed / GPU-failed)"]
+    for i in range(len(histogram.completed)):
+        lo, hi = histogram.edges_minutes[i], histogram.edges_minutes[i + 1]
+        lines.append(
+            f"  {lo:>6.0f}-{hi:<6.0f} min : {histogram.completed[i]:>9,} completed"
+            f"   {histogram.gpu_failed[i]:>6,} gpu-failed"
+        )
+    lines.append(
+        f"  node-hours lost in GPU-failed jobs: {impact.lost_node_hours():,.0f}"
+        "  (paper ~7,500 x scale)"
+    )
+
+    lines.append("Figure 9b - mean GPU errors encountered vs job duration")
+    series = impact.errors_vs_duration()
+    for (mid_c, mean_c), (_, mean_f) in zip(series["completed"], series["gpu_failed"]):
+        lines.append(
+            f"  ~{mid_c:>7.0f} min : completed {mean_c:6.2f}   gpu-failed {mean_f:6.2f}"
+        )
+
+    report = availability.report()
+    dist = availability.unavailability_distribution()
+    lines.extend(
+        [
+            "Figure 9c - node unavailability after GPU failures",
+            f"  incidents: {report.n_incidents:,}   mean: {dist['mean_hours']:.2f} h"
+            "  (paper 0.3 h)",
+            f"  P50 {dist['p50_hours']:.2f} h   P95 {dist['p95_hours']:.2f} h"
+            f"   P99 {dist['p99_hours']:.2f} h   max {dist['max_hours']:.1f} h",
+            f"  total downtime: {report.total_downtime_node_hours:,.0f} node-hours"
+            "  (paper ~5,700 x scale)",
+            f"  MTTF {report.mttf_hours:.1f} h, MTTR {report.mttr_hours:.2f} h"
+            f" -> availability {report.availability*100:.2f}%  (paper 99.5%)",
+            f"  downtime per node-day: {report.downtime_minutes_per_day:.1f} min"
+            "  (paper ~7 min)",
+        ]
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Section 5.4 / 5.5
+# ---------------------------------------------------------------------------
+
+
+def render_overprovision(results: Mapping[Tuple[float, float], float]) -> str:
+    table = Table(
+        "Section 5.4 - required overprovisioning (800-GPU, 1-month job)",
+        ["Recovery (min)", "Availability %", "Overprovision %", "paper"],
+    )
+    anchors = {(40.0, 0.995): "20%", (5.0, 0.995): "5%"}
+    for (recovery, availability), fraction in sorted(results.items()):
+        table.add_row(
+            recovery,
+            availability * 100.0,
+            fraction * 100.0,
+            anchors.get((recovery, availability), "-"),
+        )
+    return table.render()
+
+
+def render_generations(comparison) -> str:
+    """The Section-7 generational contrast as a table."""
+    table = Table(
+        "Generational resilience comparison (prior-literature constants vs measured)",
+        ["Generation", "System", "P(interrupt|DBE)", "Remap", "Containment",
+         "GSP", "Budget", "Measured"],
+    )
+    for row in comparison.rows():
+        table.add_row(
+            row.name,
+            row.system,
+            row.dbe_job_interruption_prob,
+            row.has_row_remapping,
+            row.has_error_containment,
+            row.has_gsp,
+            row.retirement_budget,
+            row.measured,
+        )
+    modes = "\n".join(f"  - {mode}" for mode in comparison.new_failure_modes())
+    return table.render() + "\nNew Ampere-era failure modes:\n" + modes
+
+
+def render_spatial(analyzer, xids: Sequence[int] = (95, 31, 74, 119)) -> str:
+    """Section 4.2 (iii)'s concentration story, quantified."""
+    table = Table(
+        "Spatial error concentration (Gini over the GPU population)",
+        ["XID", "Gini", "Top-1 share", "Top-4 share", "GPUs affected %",
+         "Offenders (Poisson surprise)"],
+    )
+    for xid in xids:
+        offenders = analyzer.offenders(xid)
+        table.add_row(
+            xid,
+            analyzer.gini(xid),
+            analyzer.top_share(xid, 1),
+            analyzer.top_share(xid, 4),
+            analyzer.affected_gpu_fraction(xid) * 100.0,
+            len(offenders),
+        )
+    return table.render()
+
+
+def render_counterfactual(report: CounterfactualReport) -> str:
+    lines = [
+        "Section 5.5 - counterfactual resilience improvements",
+        f"  baseline MTBE             : {report.baseline_mtbe_node_hours:.1f} node-h"
+        "  (paper 67)",
+        f"  without top offenders     : {report.without_offenders_mtbe_node_hours:.1f}"
+        f" node-h ({report.offender_improvement:.1f}x)  (paper 190, 3x)",
+        f"  also w/o GSP/PMU/NVLink   : "
+        f"{report.without_offenders_and_hw_mtbe_node_hours:.1f} node-h"
+        f" (+{(report.hardware_additional_improvement-1)*100:.0f}%)  (paper 223, +16%)",
+        f"  availability              : {report.baseline_availability*100:.2f}% ->"
+        f" {report.improved_availability*100:.2f}%  (paper 99.5% -> 99.9%)",
+        f"  offender GPUs removed     : {len(report.removed_gpus)}",
+    ]
+    return "\n".join(lines)

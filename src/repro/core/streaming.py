@@ -1,0 +1,143 @@
+"""Online (streaming) error coalescing and persistence alarms.
+
+Section 4.3's operational recommendation: "SREs should continuously monitor
+the errors at the tail of the GPU error persistence distribution ... to
+mitigate the error as soon as possible" — the 17-day uncontained saga went
+unnoticed because nothing watched persistence *live*.
+
+:class:`StreamingCoalescer` is an incremental Algorithm 1: feed it raw XID
+records in arrival order and it maintains open runs per (GPU, XID, message),
+emitting a :class:`CoalescedError` when a run closes (gap beyond the window
+or cut-off reached) and raising a :class:`PersistenceAlarm` the moment an
+*open* run exceeds the alarm threshold — without waiting for it to end,
+which is the whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.coalesce import (
+    DEFAULT_MAX_PERSISTENCE,
+    DEFAULT_WINDOW_SECONDS,
+    CoalescedError,
+)
+from repro.core.parsing import RawXidRecord
+
+GroupKey = Tuple[str, str, int, str]
+
+
+@dataclass(frozen=True)
+class PersistenceAlarm:
+    """Raised once per run when its open persistence crosses the threshold."""
+
+    node_id: str
+    pci_bus: str
+    xid: int
+    start_time: float
+    open_persistence: float
+    n_raw: int
+
+
+@dataclass
+class _OpenRun:
+    start: float
+    latest: float
+    n_raw: int
+    alarmed: bool = False
+
+
+class StreamingCoalescer:
+    """Incremental Algorithm 1 with live persistence alarms.
+
+    Records must arrive in non-decreasing time order per GPU (syslog order);
+    global interleaving across GPUs is fine.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_persistence: float = DEFAULT_MAX_PERSISTENCE,
+        alarm_after_seconds: float = 600.0,
+    ) -> None:
+        if window_seconds <= 0 or max_persistence <= 0 or alarm_after_seconds <= 0:
+            raise ValueError("streaming coalescer thresholds must be positive")
+        self.window_seconds = window_seconds
+        self.max_persistence = max_persistence
+        self.alarm_after_seconds = alarm_after_seconds
+        self._open: Dict[GroupKey, _OpenRun] = {}
+        self.alarms: List[PersistenceAlarm] = []
+        self.closed: List[CoalescedError] = []
+
+    # ------------------------------------------------------------------
+
+    def feed(self, record: RawXidRecord) -> Optional[PersistenceAlarm]:
+        """Ingest one record; returns an alarm if this record triggers one."""
+        key = (record.node_id, record.pci_bus, record.xid, record.message)
+        run = self._open.get(key)
+        if run is not None:
+            gap = record.time - run.latest
+            if gap < 0:
+                raise ValueError(
+                    "streaming input must be time-ordered per GPU "
+                    f"(got t={record.time} after t={run.latest})"
+                )
+            span = record.time - run.start
+            if gap > self.window_seconds or span > self.max_persistence:
+                self._close(key, run)
+                run = None
+        if run is None:
+            self._open[key] = _OpenRun(record.time, record.time, 1)
+            return None
+        run.latest = record.time
+        run.n_raw += 1
+        if not run.alarmed and (run.latest - run.start) >= self.alarm_after_seconds:
+            run.alarmed = True
+            alarm = PersistenceAlarm(
+                node_id=record.node_id,
+                pci_bus=record.pci_bus,
+                xid=record.xid,
+                start_time=run.start,
+                open_persistence=run.latest - run.start,
+                n_raw=run.n_raw,
+            )
+            self.alarms.append(alarm)
+            return alarm
+        return None
+
+    def feed_many(self, records: Iterable[RawXidRecord]) -> Iterator[PersistenceAlarm]:
+        """Ingest a stream, yielding alarms as they fire."""
+        for record in records:
+            alarm = self.feed(record)
+            if alarm is not None:
+                yield alarm
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> List[CoalescedError]:
+        """Close every open run (end of stream) and return all errors."""
+        for key, run in sorted(self._open.items()):
+            self._close(key, run)
+        self._open.clear()
+        self.closed.sort(key=lambda e: (e.time, e.node_id, e.pci_bus, e.xid))
+        return list(self.closed)
+
+    def open_runs(self) -> int:
+        return len(self._open)
+
+    def _close(self, key: GroupKey, run: _OpenRun) -> None:
+        node_id, pci_bus, xid, message = key
+        self.closed.append(
+            CoalescedError(
+                time=run.start,
+                node_id=node_id,
+                pci_bus=pci_bus,
+                xid=xid,
+                persistence=run.latest - run.start,
+                n_raw=run.n_raw,
+                message=message,
+            )
+        )
+        if key in self._open:
+            del self._open[key]

@@ -1,0 +1,80 @@
+"""Dataset persistence: synthesize once, re-analyze many times.
+
+``save_dataset`` writes a directory with everything a later session needs —
+rendered per-node logs, the Slurm database, the ground-truth trace, the
+pid map, and a metadata file; ``load_dataset`` restores a fully functional
+:class:`~repro.datasets.delta.DeltaDataset` (minus the live schedule, which
+is an in-memory construction aid, not an observable).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster.inventory import build_delta_cluster
+from repro.datasets.delta import DeltaDataset, DeltaDatasetConfig
+from repro.faults.calibration import AMPERE_CALIBRATION, H100_CALIBRATION
+from repro.faults.events import FaultTrace
+from repro.slurm.accounting import SlurmDatabase
+
+_PROFILES = {
+    AMPERE_CALIBRATION.name: AMPERE_CALIBRATION,
+    H100_CALIBRATION.name: H100_CALIBRATION,
+}
+
+
+def save_dataset(dataset: DeltaDataset, directory: str | Path, *,
+                 compress_logs: bool = False) -> Path:
+    """Persist a dataset; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dataset.write_logs(directory / "logs", compress=compress_logs)
+    dataset.save_slurm_db(directory / "slurm.jsonl")
+    dataset.trace.save(directory / "trace.jsonl")
+    (directory / "pids.json").write_text(
+        json.dumps({str(k): v for k, v in dataset.pids.items()})
+    )
+    (directory / "meta.json").write_text(
+        json.dumps(
+            {
+                "profile": dataset.profile.name,
+                "scale": dataset.config.scale,
+                "seed": dataset.config.seed,
+                "with_jobs": dataset.config.with_jobs,
+                "noise_lines_per_node_hour": dataset.config.noise_lines_per_node_hour,
+                "window_seconds": dataset.window_seconds,
+            },
+            indent=2,
+        )
+    )
+    return directory
+
+
+def load_dataset(directory: str | Path) -> DeltaDataset:
+    """Restore a persisted dataset (observables + ground-truth trace)."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    profile = _PROFILES.get(meta["profile"])
+    if profile is None:
+        raise ValueError(f"unknown calibration profile {meta['profile']!r}")
+    config = DeltaDatasetConfig(
+        scale=meta["scale"],
+        seed=meta["seed"],
+        with_jobs=meta["with_jobs"],
+        noise_lines_per_node_hour=meta["noise_lines_per_node_hour"],
+    )
+    trace = FaultTrace.load(directory / "trace.jsonl")
+    slurm_db = SlurmDatabase.load(directory / "slurm.jsonl")
+    pids = {
+        int(k): v
+        for k, v in json.loads((directory / "pids.json").read_text()).items()
+    }
+    return DeltaDataset(
+        cluster=build_delta_cluster(),
+        profile=profile,
+        config=config,
+        trace=trace,
+        slurm_db=slurm_db,
+        pids=pids,
+    )

@@ -1,0 +1,168 @@
+"""Experiment registry: every paper table/figure as a named, runnable unit.
+
+``EXPERIMENTS`` maps experiment IDs (``table1``, ``fig5``, ...) to runners
+that take a prepared :class:`~repro.core.pipeline.DeltaStudy` (plus scale)
+and return rendered text.  The CLI exposes them as
+``repro-delta experiment <id>``; DESIGN.md's experiment index is the prose
+version of this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.pipeline import DeltaStudy
+
+
+@dataclass(frozen=True)
+class Experiment:
+    identifier: str
+    paper_artifact: str
+    description: str
+    runner: Callable[[DeltaStudy, float], str]
+    needs_jobs: bool = True
+
+
+def _table1(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_table1
+    from repro.faults.calibration import AMPERE_CALIBRATION
+
+    return render_table1(study.error_statistics(), AMPERE_CALIBRATION, scale=scale)
+
+
+def _table2(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_table2
+
+    return render_table2(study.job_impact())
+
+
+def _table3(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_table3
+
+    return render_table3(study.job_impact())
+
+
+def _fig5(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_figure5
+
+    return render_figure5(study.propagation())
+
+
+def _fig6(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_figure6
+
+    return render_figure6(study.propagation())
+
+
+def _fig7(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_figure7
+
+    return render_figure7(study.propagation())
+
+
+def _fig9(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_figure9
+
+    return render_figure9(study.job_impact(), study.availability())
+
+
+def _overprovision(study: DeltaStudy, scale: float) -> str:
+    from repro.core.overprovision import OverprovisionConfig, OverprovisionSimulator
+    from repro.core.report import render_overprovision
+
+    simulator = OverprovisionSimulator(OverprovisionConfig(n_trials=3))
+    return render_overprovision(
+        simulator.sweep(recovery_minutes=(5.0, 10.0, 20.0, 40.0),
+                        availabilities=(0.995, 0.9987))
+    )
+
+
+def _counterfactual(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_counterfactual
+
+    return render_counterfactual(study.counterfactual().analyze())
+
+
+def _spatial(study: DeltaStudy, scale: float) -> str:
+    from repro.core.report import render_spatial
+    from repro.core.spatial import SpatialAnalyzer
+
+    return render_spatial(SpatialAnalyzer(study.error_statistics().errors, n_gpus=848))
+
+
+def _h100(study: DeltaStudy, scale: float) -> str:
+    # Section 6 has its own dataset (the GH200 partition after Aug 2024);
+    # the passed Ampere study is intentionally unused.
+    from repro.core.h100 import H100Analyzer
+    from repro.datasets import synthesize_h100
+
+    h100_study = DeltaStudy.from_dataset(synthesize_h100(seed=7))
+    report = H100Analyzer(h100_study.error_statistics()).report()
+    return (
+        "Section 6 - emerging H100 errors\n"
+        f"  counts: {report.counts}\n"
+        "          (paper: 18 MMU, 10 DBE, 5 RRF, 9 contained, 70 XID-136)\n"
+        f"  MTBE  : {report.mtbe_node_hours:,.0f} node-hours (paper 4,114)\n"
+        f"  DBE/RRF-without-RRE anomaly: {report.has_remap_anomaly}"
+    )
+
+
+def _generations(study: DeltaStudy, scale: float) -> str:
+    from repro.core.comparison import GenerationComparison
+    from repro.core.report import render_generations
+
+    return render_generations(
+        GenerationComparison(study.error_statistics(), study.propagation())
+    )
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.identifier: e
+    for e in (
+        Experiment("table1", "Table 1",
+                   "per-XID counts, MTBE, persistence", _table1, needs_jobs=False),
+        Experiment("table2", "Table 2",
+                   "job-failure probability per XID", _table2),
+        Experiment("table3", "Table 3",
+                   "job distribution and elapsed statistics", _table3),
+        Experiment("fig5", "Figure 5",
+                   "intra-GPU hardware propagation", _fig5, needs_jobs=False),
+        Experiment("fig6", "Figure 6",
+                   "NVLink propagation and involvement", _fig6, needs_jobs=False),
+        Experiment("fig7", "Figure 7",
+                   "DBE recovery tree", _fig7, needs_jobs=False),
+        Experiment("fig9", "Figure 9",
+                   "job impact, errors-vs-duration, unavailability", _fig9),
+        Experiment("sec5.4", "Section 5.4",
+                   "overprovisioning projection", _overprovision, needs_jobs=False),
+        Experiment("sec5.5", "Section 5.5",
+                   "counterfactual improvements", _counterfactual, needs_jobs=False),
+        Experiment("sec4.2iii", "Section 4.2 (iii)",
+                   "spatial concentration / offenders", _spatial, needs_jobs=False),
+        Experiment("sec6", "Section 6",
+                   "emerging H100 errors (own dataset)", _h100, needs_jobs=False),
+        Experiment("sec7", "Section 7",
+                   "generational comparison", _generations, needs_jobs=False),
+    )
+}
+
+
+def run_experiment(
+    identifier: str,
+    study: DeltaStudy,
+    *,
+    scale: float = 1.0,
+) -> str:
+    """Run one registered experiment against a prepared study."""
+    experiment = EXPERIMENTS.get(identifier)
+    if experiment is None:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}")
+    if experiment.needs_jobs and study.slurm_db is None:
+        raise ValueError(f"experiment {identifier!r} needs a Slurm database")
+    return experiment.runner(study, scale)
+
+
+def list_experiments() -> List[Experiment]:
+    return sorted(EXPERIMENTS.values(), key=lambda e: e.identifier)

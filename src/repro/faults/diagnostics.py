@@ -1,0 +1,109 @@
+"""Calibration diagnostics: expected-vs-realized self-checks.
+
+When a calibration profile is edited (new counts, new kernel branches), the
+first question is whether the injector still realizes the intended totals
+and branching.  ``check_calibration`` runs a quick injection, measures the
+realized statistics, and reports deviations — the tool behind the
+reproduction's "generated counts are recoverable" guarantee, exposed for
+profile developers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.inventory import ClusterInventory, build_delta_cluster
+from repro.faults.calibration import CalibrationProfile, expected_totals, solve_root_counts
+from repro.faults.injector import FaultInjector, InjectorConfig
+from repro.faults.xid import Xid
+
+
+@dataclass(frozen=True)
+class CountCheck:
+    xid: Xid
+    expected: float
+    realized: int
+
+    @property
+    def relative_error(self) -> float:
+        if self.expected == 0:
+            return 0.0 if self.realized == 0 else float("inf")
+        return (self.realized - self.expected) / self.expected
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    profile_name: str
+    scale: float
+    checks: List[CountCheck]
+    kernel_consistent: bool
+
+    def worst(self) -> Optional[CountCheck]:
+        measurable = [c for c in self.checks if c.expected >= 20]
+        if not measurable:
+            return None
+        return max(measurable, key=lambda c: abs(c.relative_error))
+
+    def within(self, tolerance: float) -> bool:
+        """Every measurable code within a relative tolerance."""
+        worst = self.worst()
+        return worst is None or abs(worst.relative_error) <= tolerance
+
+    def render(self) -> str:
+        lines = [
+            f"calibration check: {self.profile_name} @ scale {self.scale}",
+            f"  kernel root-solve consistent: {self.kernel_consistent}",
+        ]
+        for check in sorted(self.checks, key=lambda c: int(c.xid)):
+            marker = ""
+            if check.expected >= 20 and abs(check.relative_error) > 0.15:
+                marker = "  <-- off"
+            lines.append(
+                f"  XID {int(check.xid):>3}: expected {check.expected:>10.1f}  "
+                f"realized {check.realized:>8,}  "
+                f"({check.relative_error:+.1%}){marker}"
+            )
+        return "\n".join(lines)
+
+
+def check_calibration(
+    profile: CalibrationProfile,
+    *,
+    scale: float = 0.1,
+    seed: int = 99,
+    cluster: ClusterInventory | None = None,
+) -> CalibrationReport:
+    """Inject once at ``scale`` and compare realized totals to targets.
+
+    The workload-coupled MMU share is injected by the injector itself here
+    (``workload_mmu_external=False``) so the check is self-contained.
+    """
+    cluster = cluster or build_delta_cluster()
+    injector = FaultInjector(profile, InjectorConfig(scale=scale, seed=seed))
+    trace = injector.generate(cluster)
+    realized = {xid: 0 for xid in profile.xids}
+    for event in trace:
+        if event.xid in realized:
+            realized[event.xid] += 1
+
+    targets = profile.scaled_counts(scale)
+    checks = [
+        CountCheck(xid=xid, expected=targets[xid], realized=realized.get(xid, 0))
+        for xid in profile.xids
+    ]
+
+    # The kernel must reproduce the profile's totals analytically too.
+    totals = {xid: float(c.count) for xid, c in profile.xids.items()}
+    roots = solve_root_counts(totals, profile.kernel)
+    reproduced = expected_totals(roots, profile.kernel)
+    kernel_ok = all(
+        abs(reproduced.get(xid, 0.0) - count) <= max(0.02 * count, 1.0)
+        for xid, count in totals.items()
+    )
+    return CalibrationReport(
+        profile_name=profile.name,
+        scale=scale,
+        checks=checks,
+        kernel_consistent=kernel_ok,
+    )

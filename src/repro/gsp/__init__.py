@@ -1,0 +1,33 @@
+"""GPU System Processor (GSP) substrate.
+
+The paper's most vulnerable hardware component (finding ii): the GSP is a
+co-processor that offloads driver tasks from the host CPU "for latency and
+performance improvement", but its RPC timeouts (XID 119) are spontaneous,
+render the GPU inoperable ~99% of the time, and require a node reboot.
+AWS's operational guidance — disable GSP, trading performance for
+stability — is the mitigation the paper discusses.
+
+This subpackage models the mechanism:
+
+* :mod:`repro.gsp.processor` — the GSP as a served queue with a
+  load-dependent firmware-hang hazard (Delta SREs observed timeouts
+  "highly correlated with demanding GPU ML benchmarks");
+* :mod:`repro.gsp.driver` — the driver's RPC path with the 6-second
+  watchdog that logs XID 119, plus the GSP-disabled host path (no hang
+  hazard, higher per-call CPU cost);
+* the ablation bench measures the stability/performance trade-off of
+  disabling GSP, quantifying the AWS recommendation.
+"""
+
+from repro.gsp.processor import GspProcessor, GspState, RpcRequest
+from repro.gsp.driver import DriverConfig, DriverStats, GpuDriver, RpcResult
+
+__all__ = [
+    "GspProcessor",
+    "GspState",
+    "RpcRequest",
+    "DriverConfig",
+    "DriverStats",
+    "GpuDriver",
+    "RpcResult",
+]

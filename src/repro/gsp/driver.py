@@ -1,0 +1,146 @@
+"""The driver's RPC path: GSP offload, the 6-second watchdog, XID 119.
+
+With GSP enabled, driver control tasks (initialization, clock management,
+channel setup) go over RPC — near-zero host-CPU cost, but exposed to the
+GSP hang hazard; after ``watchdog_seconds`` without a response the driver
+logs the paper's signature line ("Timeout after 6s of waiting for RPC
+response from GSP!") and the GPU is inoperable until a reset/reboot.
+
+With GSP disabled (the AWS mitigation), the same tasks execute on the host
+CPU: no hang hazard, ``host_cpu_cost`` seconds of CPU per call — the
+stability-for-performance trade the paper discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsp.processor import GspProcessor, RpcRequest
+from repro.util.validation import check_positive
+
+
+class RpcResult(enum.Enum):
+    OK = "ok"
+    TIMEOUT = "timeout"  # XID 119: GPU inoperable until reset
+    GPU_LOST = "gpu_lost"  # call issued while the GPU was already down
+
+
+@dataclass
+class DriverConfig:
+    gsp_enabled: bool = True
+    watchdog_seconds: float = 6.0
+    #: Host-CPU seconds per control call when the GSP path is disabled.
+    host_cpu_cost: float = 0.010
+    #: GSP-path host-CPU cost (submission only).
+    gsp_cpu_cost: float = 0.0005
+    #: Recovery cost when an XID-119 timeout forces a reset (node-hours of
+    #: unavailability are accounted by the caller; this is the reset call).
+    reset_cost_seconds: float = 90.0
+
+    def __post_init__(self) -> None:
+        check_positive("watchdog_seconds", self.watchdog_seconds)
+        check_positive("host_cpu_cost", self.host_cpu_cost)
+
+
+@dataclass
+class DriverStats:
+    calls: int = 0
+    timeouts: int = 0  # XID 119 events
+    gpu_lost_calls: int = 0
+    resets: int = 0
+    host_cpu_seconds: float = 0.0
+    unavailable_seconds: float = 0.0
+
+    @property
+    def timeout_rate(self) -> float:
+        return self.timeouts / self.calls if self.calls else 0.0
+
+
+class GpuDriver:
+    """The control-path facade over one GPU's GSP."""
+
+    def __init__(
+        self,
+        config: DriverConfig | None = None,
+        gsp: GspProcessor | None = None,
+    ) -> None:
+        self.config = config or DriverConfig()
+        self.gsp = gsp or GspProcessor()
+        self.stats = DriverStats()
+        self._gpu_operable = True
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def gpu_operable(self) -> bool:
+        return self._gpu_operable
+
+    def control_call(
+        self, rng: np.random.Generator, function: str = "GSP_RM_CONTROL"
+    ) -> RpcResult:
+        """One control-plane operation (clock change, channel setup, ...)."""
+        self.stats.calls += 1
+        if not self._gpu_operable:
+            self.stats.gpu_lost_calls += 1
+            return RpcResult.GPU_LOST
+        if not self.config.gsp_enabled:
+            # Host path: slower, hang-free.
+            self.stats.host_cpu_seconds += self.config.host_cpu_cost
+            self._clock += self.config.host_cpu_cost
+            return RpcResult.OK
+        self.stats.host_cpu_seconds += self.config.gsp_cpu_cost
+        request = RpcRequest(function=function, issued_at=self._clock)
+        self.gsp.submit(request)
+        completion = self.gsp.service_one(self._clock, rng)
+        if completion is None:
+            # No response: the watchdog burns its full budget, then XID 119.
+            self._clock += self.config.watchdog_seconds
+            self.stats.timeouts += 1
+            self.stats.unavailable_seconds += self.config.watchdog_seconds
+            self._gpu_operable = False
+            return RpcResult.TIMEOUT
+        self._clock = completion
+        return RpcResult.OK
+
+    def reset_gpu(self) -> None:
+        """Manual reset / node reboot: GSP and GPU return to service."""
+        self.stats.resets += 1
+        self.stats.unavailable_seconds += self.config.reset_cost_seconds
+        self._clock += self.config.reset_cost_seconds
+        self.gsp.reset()
+        self._gpu_operable = True
+
+    # ------------------------------------------------------------------
+
+    def run_workload(
+        self,
+        n_calls: int,
+        rng: np.random.Generator,
+        *,
+        burst_depth: int = 0,
+        auto_reset: bool = True,
+    ) -> DriverStats:
+        """Issue a stream of control calls, optionally under load bursts.
+
+        ``burst_depth`` pre-queues that many RPCs before each call,
+        emulating a demanding ML workload hammering the control plane (the
+        hang hazard grows with queue depth).
+        """
+        for _ in range(n_calls):
+            if self.config.gsp_enabled:
+                for i in range(burst_depth):
+                    self.gsp.submit(RpcRequest("GSP_RM_ALLOC", self._clock))
+            result = self.control_call(rng)
+            if result is RpcResult.TIMEOUT and auto_reset:
+                self.reset_gpu()
+            # Drain the burst backlog while healthy.
+            while self.config.gsp_enabled and self.gsp.queue_depth and (
+                self.gsp.is_responsive()
+            ):
+                if self.gsp.service_one(self._clock, rng) is None:
+                    break
+        return self.stats

@@ -1,0 +1,102 @@
+"""The GSP as a served RPC queue with a firmware-hang hazard.
+
+NVIDIA attributes GSP RPC timeouts to firmware bugs (release notes the paper
+cites) and Delta SREs correlate them with demanding workloads.  Model: each
+serviced RPC carries a small hang probability that grows with the current
+queue depth (a proxy for firmware stress under load); once hung, the GSP
+answers nothing until an external reset — exactly the "single point of
+failure" behaviour the paper measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+from collections import deque
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+
+class GspState(enum.Enum):
+    RUNNING = "running"
+    HUNG = "hung"
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """One driver->GSP remote procedure call."""
+
+    function: str  # e.g. "GSP_RM_CONTROL"
+    issued_at: float
+    #: Service time the GSP needs when healthy (seconds).
+    service_time: float = 0.002
+
+
+@dataclass
+class GspProcessor:
+    """The co-processor: a FIFO server that can hang.
+
+    ``base_hang_prob`` is the per-RPC hazard at an empty queue;
+    ``load_hang_factor`` scales it with queue depth, reproducing the
+    workload correlation the SREs observed.
+    """
+
+    base_hang_prob: float = 1e-6
+    load_hang_factor: float = 0.25
+    state: GspState = GspState.RUNNING
+    rpcs_served: int = 0
+    hangs: int = 0
+    _queue: Deque[RpcRequest] = field(default_factory=deque)
+    _busy_until: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("base_hang_prob", self.base_hang_prob)
+        if self.load_hang_factor < 0:
+            raise ValueError("load_hang_factor must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def hang_probability(self) -> float:
+        """Per-RPC hang hazard at the current load."""
+        return min(
+            1.0, self.base_hang_prob * (1.0 + self.load_hang_factor * self.queue_depth)
+        )
+
+    def submit(self, request: RpcRequest) -> None:
+        self._queue.append(request)
+
+    def service_one(self, now: float, rng: np.random.Generator) -> Optional[float]:
+        """Serve the next queued RPC; returns its completion time.
+
+        Returns ``None`` when the GSP hangs instead of completing (or is
+        already hung / idle): the driver's watchdog will fire.
+        """
+        if self.state is GspState.HUNG or not self._queue:
+            return None
+        request = self._queue.popleft()
+        if rng.random() < self.hang_probability():
+            self.state = GspState.HUNG
+            self.hangs += 1
+            return None
+        self.rpcs_served += 1
+        start = max(now, self._busy_until)
+        self._busy_until = start + request.service_time
+        return self._busy_until
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """External reset (driver reload / node reboot): GSP recovers."""
+        self.state = GspState.RUNNING
+        self._queue.clear()
+        self._busy_until = 0.0
+
+    def is_responsive(self) -> bool:
+        return self.state is GspState.RUNNING

@@ -1,0 +1,53 @@
+"""GPU memory resilience substrate, built from first principles.
+
+Paper Section 2.3 describes the Ampere/Hopper memory error-management stack
+(its Figure 3): SECDED ECC corrects single-bit errors silently, double-bit
+errors trigger *row remapping* onto spare rows (RRE, or RRF when spares are
+exhausted), and — on A100/H100 only — *error containment* kills the process
+using the poisoned address while *dynamic page offlining* retires the page
+without a GPU reset.
+
+This subpackage implements each mechanism concretely:
+
+* :mod:`repro.memory.secded` — a (72,64) SECDED Hamming code: encode,
+  corrupt, decode-with-correction/detection;
+* :mod:`repro.memory.remap` — per-bank spare-row bookkeeping with the
+  Ampere remap budget;
+* :mod:`repro.memory.containment` — the containment + page-offlining state
+  machine, with the A40-vs-A100 capability split;
+* :mod:`repro.memory.device` — a whole-GPU memory model that turns injected
+  cell faults into the XID 48/63/64/94/95 event sequences of Figure 3,
+  which is what the calibrated fault kernel abstracts.
+"""
+
+from repro.memory.secded import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeStatus,
+    decode,
+    encode,
+    flip_bits,
+)
+from repro.memory.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.memory.remap import RemapOutcome, RowRemapper
+from repro.memory.containment import ContainmentOutcome, ContainmentUnit
+from repro.memory.device import GpuMemory, MemoryEvent, MemoryEventKind
+
+__all__ = [
+    "CODEWORD_BITS",
+    "DATA_BITS",
+    "DecodeStatus",
+    "decode",
+    "encode",
+    "flip_bits",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "RemapOutcome",
+    "RowRemapper",
+    "ContainmentOutcome",
+    "ContainmentUnit",
+    "GpuMemory",
+    "MemoryEvent",
+    "MemoryEventKind",
+]

@@ -1,0 +1,98 @@
+"""Uncorrectable-error containment and dynamic page offlining.
+
+A100/H100 only (paper Section 2.3.2, Figure 3's dashed boxes): when an
+uncorrectable error reaches a memory page, the GPU tries to *contain* it by
+terminating exactly the processes using the poisoned address (XID 94) and
+*offlining* the page so it is never allocated again — all without a GPU
+reset.  If containment fails, the error is *uncontained* (XID 95) and the
+GPU sits in an error state until a manual reset.
+
+A40-class parts support neither mechanism: any DBE surfaces directly to the
+application and the GPU needs a reset (the pre-Ampere behaviour the paper
+contrasts against, citing Blue Waters/Titan).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+import numpy as np
+
+
+class ContainmentOutcome(enum.Enum):
+    CONTAINED = "contained"  # XID 94: affected process terminated
+    UNCONTAINED = "uncontained"  # XID 95: GPU in error state, reset needed
+    UNSUPPORTED = "unsupported"  # A40-class: no containment hardware
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    outcome: ContainmentOutcome
+    page: int
+    #: Process terminated by successful containment (None when the page was
+    #: idle — containment still succeeds, nothing to kill).
+    killed_pid: Optional[int] = None
+    page_offlined: bool = False
+
+
+@dataclass
+class ContainmentUnit:
+    """The containment + page-offlining state machine for one GPU.
+
+    ``success_prob`` models the hardware's imperfect ability to fence the
+    poisoned address before it propagates (the paper measures containment
+    succeeding ~43% of the time after an RRF, with failures showing up as
+    bursty uncontained errors).
+    """
+
+    supported: bool = True
+    offlining_supported: bool = True
+    success_prob: float = 0.43
+    max_offlined_pages: int = 512
+    _offlined: Set[int] = field(default_factory=set)
+    _error_state: bool = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def offlined_pages(self) -> int:
+        return len(self._offlined)
+
+    @property
+    def in_error_state(self) -> bool:
+        return self._error_state
+
+    def is_offlined(self, page: int) -> bool:
+        return page in self._offlined
+
+    # ------------------------------------------------------------------
+
+    def contain(
+        self,
+        page: int,
+        rng: np.random.Generator,
+        owning_pid: Optional[int] = None,
+    ) -> ContainmentResult:
+        """Attempt to contain an uncorrectable error on ``page``."""
+        if not self.supported:
+            self._error_state = True
+            return ContainmentResult(ContainmentOutcome.UNSUPPORTED, page)
+        if rng.random() >= self.success_prob:
+            self._error_state = True
+            return ContainmentResult(ContainmentOutcome.UNCONTAINED, page)
+        offlined = False
+        if self.offlining_supported and len(self._offlined) < self.max_offlined_pages:
+            self._offlined.add(page)
+            offlined = True
+        return ContainmentResult(
+            ContainmentOutcome.CONTAINED,
+            page,
+            killed_pid=owning_pid,
+            page_offlined=offlined,
+        )
+
+    def reset(self) -> None:
+        """A GPU reset clears the error state (offlined pages persist)."""
+        self._error_state = False

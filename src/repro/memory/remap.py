@@ -1,0 +1,99 @@
+"""Row remapping: spare-row bookkeeping (paper Section 2.3, Figure 3).
+
+Ampere/Hopper HBM banks carry spare rows; when a row accumulates an
+uncorrectable error (one DBE, or two SBEs at the same address), the GPU
+remaps it onto a spare — a *row remapping event* (RRE, XID 63).  When the
+bank's spares are exhausted the remap fails — a *row remapping failure*
+(RRF, XID 64).  Remapping requires a GPU reset to take effect; an Ampere
+GPU supports up to 512 remaps in total (Table 1 footnote).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+RowAddress = Tuple[int, int]  # (bank, row)
+
+
+class RemapOutcome(enum.Enum):
+    REMAPPED = "remapped"  # RRE (XID 63)
+    FAILED = "failed"  # RRF (XID 64): no spare row available
+    ALREADY_REMAPPED = "already_remapped"  # duplicate request, no event
+
+
+@dataclass
+class RowRemapper:
+    """Spare-row accounting for one GPU's memory.
+
+    ``spares_per_bank`` models the per-bank spare pool; ``max_total_remaps``
+    is the device-wide Ampere budget of 512.
+    """
+
+    n_banks: int = 32
+    spares_per_bank: int = 8
+    max_total_remaps: int = 512
+    _used: Dict[int, int] = field(default_factory=dict)
+    _remapped: Set[RowAddress] = field(default_factory=set)
+    _pending_reset: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_banks <= 0 or self.spares_per_bank < 0:
+            raise ValueError("invalid remapper geometry")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_remapped(self) -> int:
+        return len(self._remapped)
+
+    @property
+    def pending_reset(self) -> bool:
+        """Remaps are staged until the next GPU reset (Figure 3's note)."""
+        return self._pending_reset
+
+    def spares_left(self, bank: int) -> int:
+        self._check_bank(bank)
+        return self.spares_per_bank - self._used.get(bank, 0)
+
+    def is_remapped(self, address: RowAddress) -> bool:
+        return address in self._remapped
+
+    # ------------------------------------------------------------------
+
+    def request_remap(self, address: RowAddress) -> RemapOutcome:
+        """Attempt to remap a faulty row; returns the logged outcome."""
+        bank, _row = address
+        self._check_bank(bank)
+        if address in self._remapped:
+            return RemapOutcome.ALREADY_REMAPPED
+        if self.total_remapped >= self.max_total_remaps:
+            return RemapOutcome.FAILED
+        if self.spares_left(bank) <= 0:
+            return RemapOutcome.FAILED
+        self._used[bank] = self._used.get(bank, 0) + 1
+        self._remapped.add(address)
+        self._pending_reset = True
+        return RemapOutcome.REMAPPED
+
+    def acknowledge_reset(self) -> None:
+        """A GPU reset activates staged remaps."""
+        self._pending_reset = False
+
+    def exhaust_bank(self, bank: int) -> None:
+        """Test/diagnostic helper: burn every spare of one bank.
+
+        Stops early if the device-wide remap budget runs out first (the
+        bank then cannot be exhausted further — every remap fails anyway).
+        """
+        self._check_bank(bank)
+        row = 10_000
+        while self.spares_left(bank) > 0:
+            if self.request_remap((bank, row)) is not RemapOutcome.REMAPPED:
+                break
+            row += 1
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank out of range: {bank}")

@@ -1,0 +1,136 @@
+"""A (72,64) SECDED Hamming code.
+
+Single-Error-Correct, Double-Error-Detect: the protection the paper states
+for GPU caches and memory ("SECDED protected", Section 2.3.1).  64 data bits
+are extended with 7 Hamming parity bits plus one overall parity bit:
+
+* any single flipped bit produces a nonzero syndrome and odd overall
+  parity — corrected in place (an SBE: fixed silently, never logged);
+* any double flip produces a nonzero syndrome with even overall parity —
+  detected but uncorrectable (a DBE: XID 48);
+* triple and higher flips may alias, as in real hardware.
+
+The implementation is bit-exact and pure-integer: a codeword is a Python
+int of 72 bits, data in the low 64 positions of the extraction order
+defined by the Hamming layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List
+
+DATA_BITS = 64
+#: 7 Hamming parity bits (positions 1,2,4,...,64 in 1-based Hamming
+#: numbering) + 1 overall parity bit.
+PARITY_BITS = 8
+CODEWORD_BITS = DATA_BITS + PARITY_BITS  # 72
+
+#: 1-based Hamming positions 1..71 carry the (64,71) Hamming code; position
+#: 0 (appended as the 72nd bit) carries overall parity.
+_HAMMING_LENGTH = 71
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+_DATA_POSITIONS = tuple(
+    p for p in range(1, _HAMMING_LENGTH + 1) if p not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+class DecodeStatus(enum.Enum):
+    OK = "ok"  # clean codeword
+    CORRECTED_SBE = "corrected_sbe"  # single-bit error corrected by ECC
+    DETECTED_DBE = "detected_dbe"  # double-bit error: uncorrectable
+    #: >=3 flips can masquerade as clean/SBE in any SECDED code; when the
+    #: decoder *can* tell something is off (syndrome points outside the
+    #: word) it reports this.
+    DETECTED_MULTI = "detected_multi"
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def encode(data: int) -> int:
+    """Encode a 64-bit word into a 72-bit SECDED codeword.
+
+    Layout: bits 1..71 are the Hamming code (1-based positions, stored at
+    the same 0-based offsets 1..71 of the returned int for clarity); bit 0
+    is the overall parity of bits 1..71.
+    """
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ValueError("data must be a 64-bit unsigned value")
+    word = 0
+    for i, position in enumerate(_DATA_POSITIONS):
+        if (data >> i) & 1:
+            word |= 1 << position
+    for parity_position in _PARITY_POSITIONS:
+        covered = 0
+        for position in range(1, _HAMMING_LENGTH + 1):
+            if position & parity_position and (word >> position) & 1:
+                covered ^= 1
+        if covered:
+            word |= 1 << parity_position
+    overall = _parity(word >> 1)
+    return word | overall
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: DecodeStatus
+    corrected_position: int | None = None
+
+
+def decode(codeword: int) -> DecodeResult:
+    """Decode a 72-bit codeword, correcting one flip, detecting two."""
+    if not 0 <= codeword < (1 << CODEWORD_BITS):
+        raise ValueError("codeword must be a 72-bit unsigned value")
+    syndrome = 0
+    for position in range(1, _HAMMING_LENGTH + 1):
+        if (codeword >> position) & 1:
+            syndrome ^= position
+    overall_ok = _parity(codeword) == 0  # stored parity makes total even
+
+    if syndrome == 0 and overall_ok:
+        return DecodeResult(_extract(codeword), DecodeStatus.OK)
+    if syndrome == 0 and not overall_ok:
+        # The overall parity bit itself flipped: correctable.
+        return DecodeResult(
+            _extract(codeword), DecodeStatus.CORRECTED_SBE, corrected_position=0
+        )
+    if not overall_ok:
+        # Odd number of flips with a nonzero syndrome: a single data/parity
+        # bit error at the syndrome position (or an uncorrectable aliasing
+        # of >=3 flips, indistinguishable by construction).
+        if syndrome <= _HAMMING_LENGTH:
+            corrected = codeword ^ (1 << syndrome)
+            return DecodeResult(
+                _extract(corrected), DecodeStatus.CORRECTED_SBE,
+                corrected_position=syndrome,
+            )
+        return DecodeResult(_extract(codeword), DecodeStatus.DETECTED_MULTI)
+    # Even parity with nonzero syndrome: exactly the double-error signature.
+    return DecodeResult(_extract(codeword), DecodeStatus.DETECTED_DBE)
+
+
+def _extract(codeword: int) -> int:
+    data = 0
+    for i, position in enumerate(_DATA_POSITIONS):
+        if (codeword >> position) & 1:
+            data |= 1 << i
+    return data
+
+
+def flip_bits(codeword: int, positions: Iterable[int]) -> int:
+    """Flip the given bit offsets (0..71) of a codeword (fault injection)."""
+    for position in positions:
+        if not 0 <= position < CODEWORD_BITS:
+            raise ValueError(f"bit position out of range: {position}")
+        codeword ^= 1 << position
+    return codeword
+
+
+def random_flips(rng, n: int) -> List[int]:
+    """``n`` distinct random bit offsets for fault injection."""
+    return list(rng.choice(CODEWORD_BITS, size=n, replace=False))

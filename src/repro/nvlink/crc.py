@@ -1,0 +1,61 @@
+"""Parameterized cyclic redundancy checks.
+
+NVLink protects flits and data packets with CRCs (paper Section 2.3.1).
+The exact production polynomials are not public; we implement a standard
+table-driven CRC engine with a 24-bit default (matching the flit-CRC width
+class) and CRC-32 for data payloads.  What matters for the resilience
+substrate is the *detection behaviour*: any burst error up to the CRC width
+is caught, and random corruption escapes with probability ~2^-width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CrcSpec:
+    """A CRC definition (MSB-first, non-reflected)."""
+
+    name: str
+    width: int
+    polynomial: int  # without the implicit leading 1
+    initial: int = 0
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+#: 24-bit CRC (OpenPGP/Bluetooth-class polynomial).
+CRC24 = CrcSpec(name="crc24", width=24, polynomial=0x864CFB, initial=0xB704CE)
+#: Standard CRC-32 polynomial (non-reflected variant).
+CRC32 = CrcSpec(name="crc32", width=32, polynomial=0x04C11DB7, initial=0xFFFFFFFF)
+
+
+@lru_cache(maxsize=8)
+def _table(spec: CrcSpec) -> Tuple[int, ...]:
+    top_bit = 1 << (spec.width - 1)
+    table = []
+    for byte in range(256):
+        register = byte << (spec.width - 8)
+        for _ in range(8):
+            if register & top_bit:
+                register = ((register << 1) ^ spec.polynomial) & spec.mask
+            else:
+                register = (register << 1) & spec.mask
+        table.append(register)
+    return tuple(table)
+
+
+def crc_bytes(data: bytes, spec: CrcSpec = CRC24) -> int:
+    """CRC of a byte string under the given spec."""
+    table = _table(spec)
+    register = spec.initial & spec.mask
+    shift = spec.width - 8
+    for byte in data:
+        index = ((register >> shift) ^ byte) & 0xFF
+        register = ((register << 8) ^ table[index]) & spec.mask
+    return register

@@ -1,0 +1,138 @@
+"""Topology-aware NVLink fabrics: collectives over real node layouts.
+
+Connects the link substrate to :mod:`repro.cluster.topology`: a fabric has
+one channel per NVLink edge of a node's topology, and a ring-allreduce is
+only possible when the topology contains a Hamiltonian cycle — which is why
+4-way A100/GH200 boards (all-to-all) and 8-way HGX boards (NVSwitch)
+support efficient collectives while A40 bridge pairs cannot ring four GPUs
+at all and fall back to PCIe for the cross-pair hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import NVLinkTopology
+from repro.nvlink.link import LinkConfig, NVLinkChannel, TransmitOutcome
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class FabricResult:
+    completed: bool
+    steps: int
+    nvlink_hops: int
+    pcie_fallback_hops: int
+    crc_errors: int
+    fatal_link: Optional[Edge] = None
+
+    @property
+    def all_nvlink(self) -> bool:
+        return self.pcie_fallback_hops == 0
+
+
+class LinkFabric:
+    """All NVLink channels of one node."""
+
+    def __init__(
+        self, topology: NVLinkTopology, config: LinkConfig | None = None
+    ) -> None:
+        self.topology = topology
+        self.config = config or LinkConfig()
+        self.channels: Dict[Edge, NVLinkChannel] = {
+            edge: NVLinkChannel(self.config) for edge in sorted(topology.links)
+        }
+
+    def channel(self, a: int, b: int) -> Optional[NVLinkChannel]:
+        return self.channels.get((min(a, b), max(a, b)))
+
+    # ------------------------------------------------------------------
+
+    def ring_order(self) -> Optional[List[int]]:
+        """A Hamiltonian cycle over the link graph, if one exists.
+
+        Exhaustive search is fine at <= 8 GPUs.
+        """
+        n = self.topology.num_gpus
+        if n < 3:
+            return None
+        links = {tuple(sorted(edge)) for edge in self.topology.links}
+
+        def connected(a: int, b: int) -> bool:
+            return (min(a, b), max(a, b)) in links
+
+        order = [0]
+
+        def extend() -> bool:
+            if len(order) == n:
+                return connected(order[-1], order[0])
+            for candidate in range(1, n):
+                if candidate in order or not connected(order[-1], candidate):
+                    continue
+                order.append(candidate)
+                if extend():
+                    return True
+                order.pop()
+            return False
+
+        return order if extend() else None
+
+    # ------------------------------------------------------------------
+
+    def ring_allreduce(
+        self,
+        rng: np.random.Generator,
+        *,
+        chunks: int = 8,
+        payload: bytes | None = None,
+    ) -> FabricResult:
+        """One ring-allreduce pass (2·(n-1) steps of n chunk transfers).
+
+        Hops without an NVLink edge fall back to PCIe (error-free here but
+        counted — the performance penalty the topology imposes).  A fatal
+        NVLink error aborts the collective, the paper's Incident-1 failure
+        mode.
+        """
+        n = self.topology.num_gpus
+        if n < 2:
+            raise ValueError("a collective needs at least two GPUs")
+        order = self.ring_order() or list(range(n))
+        data = payload if payload is not None else bytes(self.config.packet_bytes)
+
+        steps = 2 * (n - 1)
+        nvlink_hops = 0
+        pcie_hops = 0
+        crc_errors = 0
+        for _step in range(steps):
+            for position in range(n):
+                src = order[position]
+                dst = order[(position + 1) % n]
+                channel = self.channel(src, dst)
+                if channel is None:
+                    pcie_hops += chunks
+                    continue
+                before = channel.stats.crc_errors_detected
+                for _ in range(chunks):
+                    if channel.transmit(data, rng) is TransmitOutcome.FATAL:
+                        crc_errors += channel.stats.crc_errors_detected - before
+                        return FabricResult(
+                            completed=False,
+                            steps=_step + 1,
+                            nvlink_hops=nvlink_hops,
+                            pcie_fallback_hops=pcie_hops,
+                            crc_errors=crc_errors,
+                            fatal_link=(min(src, dst), max(src, dst)),
+                        )
+                nvlink_hops += chunks
+                crc_errors += channel.stats.crc_errors_detected - before
+        return FabricResult(
+            completed=True,
+            steps=steps,
+            nvlink_hops=nvlink_hops,
+            pcie_fallback_hops=pcie_hops,
+            crc_errors=crc_errors,
+        )

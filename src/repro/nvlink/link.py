@@ -1,0 +1,130 @@
+"""An NVLink channel with CRC verification and replay.
+
+The mechanism behind the paper's finding (iii): "NVLink retries packet
+transmissions from the last-known good packet upon encountering a CRC
+checksum error" — which is why an XID-74 log line does not necessarily mean
+a failed job (34% of NVLink-error jobs completed).
+
+Model: the sender keeps transmitted packets in a replay buffer; the
+receiver recomputes the CRC over the (possibly corrupted) payload and
+NAKs on mismatch; the sender replays from the last acknowledged packet.
+A packet that keeps failing beyond the retry budget escalates to a *fatal
+link error* — the condition that logs XID 74 and can leave the link/GPU
+needing a reset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.nvlink.crc import CRC24, CrcSpec, crc_bytes
+from repro.util.validation import check_probability
+
+
+class TransmitOutcome(enum.Enum):
+    DELIVERED = "delivered"  # possibly after replays
+    FATAL = "fatal"  # retry budget exhausted: XID-74 class event
+
+
+@dataclass
+class LinkConfig:
+    """Channel parameters.
+
+    ``bit_error_rate`` is the probability each payload bit flips in flight;
+    production links run ~1e-12-1e-15, degraded links far worse — the
+    sweep in the ablation bench covers that range (scaled up so packets are
+    small enough to simulate).
+    """
+
+    bit_error_rate: float = 1e-6
+    packet_bytes: int = 256
+    max_replays: int = 8
+    crc: CrcSpec = CRC24
+    #: Retry path on/off — the ablation's knob.  With ``False`` every CRC
+    #: mismatch is immediately fatal (a hypothetical NVLink without replay).
+    retry_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        check_probability("bit_error_rate", self.bit_error_rate)
+        if self.packet_bytes <= 0 or self.max_replays < 0:
+            raise ValueError("invalid link configuration")
+
+
+@dataclass
+class LinkStats:
+    packets_sent: int = 0
+    transmissions: int = 0  # including replays
+    crc_errors_detected: int = 0
+    replays: int = 0
+    fatal_errors: int = 0
+    undetected_corruptions: int = 0  # CRC escape (silent data corruption)
+
+    @property
+    def goodput(self) -> float:
+        """Delivered packets per transmission (1.0 = no overhead)."""
+        if self.transmissions == 0:
+            return 1.0
+        return self.packets_sent / self.transmissions
+
+
+class NVLinkChannel:
+    """One direction of one link between two GPUs."""
+
+    def __init__(self, config: LinkConfig | None = None) -> None:
+        self.config = config or LinkConfig()
+        self.stats = LinkStats()
+        self._replay_buffer: List[bytes] = []
+
+    # ------------------------------------------------------------------
+
+    def transmit(self, payload: bytes, rng: np.random.Generator) -> TransmitOutcome:
+        """Send one packet, replaying on CRC mismatch."""
+        config = self.config
+        self.stats.packets_sent += 1
+        self._replay_buffer.append(payload)
+        checksum = crc_bytes(payload, config.crc)
+        attempts = 0
+        while True:
+            attempts += 1
+            self.stats.transmissions += 1
+            received = self._corrupt(payload, rng)
+            if crc_bytes(received, config.crc) == checksum:
+                if received != payload:
+                    # Corruption the CRC failed to catch: delivered wrong
+                    # data silently (vanishingly rare, but modelled).
+                    self.stats.undetected_corruptions += 1
+                self._replay_buffer.pop()
+                return TransmitOutcome.DELIVERED
+            self.stats.crc_errors_detected += 1
+            if not config.retry_enabled or attempts > config.max_replays:
+                self.stats.fatal_errors += 1
+                return TransmitOutcome.FATAL
+            self.stats.replays += 1
+
+    def transfer(
+        self, payloads: List[bytes], rng: np.random.Generator
+    ) -> TransmitOutcome:
+        """Send a packet train; fatal on the first exhausted packet."""
+        for payload in payloads:
+            if self.transmit(payload, rng) is TransmitOutcome.FATAL:
+                return TransmitOutcome.FATAL
+        return TransmitOutcome.DELIVERED
+
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, payload: bytes, rng: np.random.Generator) -> bytes:
+        rate = self.config.bit_error_rate
+        if rate <= 0.0:
+            return payload
+        n_bits = len(payload) * 8
+        n_flips = rng.binomial(n_bits, rate)
+        if n_flips == 0:
+            return payload
+        data = bytearray(payload)
+        for position in rng.choice(n_bits, size=n_flips, replace=False):
+            data[int(position) // 8] ^= 1 << (int(position) % 8)
+        return bytes(data)

@@ -1,0 +1,31 @@
+"""Power Management Unit (PMU) substrate.
+
+Paper finding (iii)/(ii): communication failures with the PMU over the
+Serial Peripheral Interface ("PMU SPI errors", XID 122) cause power
+management issues — "inability to change the GPU core clock frequency and
+memory clock frequency" — and propagate to MMU errors with probability
+0.82, almost always killing the job.  Incident 2 (Figure 8) narrates one
+such cascade.
+
+The mechanism, modelled:
+
+* :mod:`repro.pmu.spi` — an SPI bus whose transactions can corrupt; a
+  failed read after retries is the XID-122 event;
+* :mod:`repro.pmu.dvfs` — the DVFS control loop: the driver reads
+  temperature/power over SPI and programs clocks; when SPI fails, the
+  clock state goes *stale*, and running memory traffic at a stale
+  voltage/frequency operating point makes MMU faults (XID 31) likely —
+  the PMU→MMU edge, derived rather than assumed.
+"""
+
+from repro.pmu.spi import SpiBus, SpiConfig, SpiResult
+from repro.pmu.dvfs import DvfsController, DvfsReport, OperatingPoint
+
+__all__ = [
+    "SpiBus",
+    "SpiConfig",
+    "SpiResult",
+    "DvfsController",
+    "DvfsReport",
+    "OperatingPoint",
+]

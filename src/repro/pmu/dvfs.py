@@ -1,0 +1,163 @@
+"""The DVFS control loop and the PMU->MMU failure cascade.
+
+Healthy operation: every control tick the driver reads temperature and
+power over SPI and programs the next (frequency, voltage) operating point.
+When an SPI read fails (XID 122), the loop is flying blind: clocks cannot
+be changed ("inability to change the GPU core clock frequency", paper
+finding ii), so the part keeps running at a *stale* operating point while
+thermal/power conditions move on.  Running memory traffic at a mismatched
+voltage-frequency point makes address-translation logic marginal — MMU
+faults (XID 31) follow with high probability.  This module derives the
+paper's PMU->MMU ~0.82 edge from that mechanism instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.pmu.spi import SpiBus, SpiResult
+from repro.util.validation import check_probability
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A DVFS state: core clock (MHz) with its matched voltage (mV)."""
+
+    frequency_mhz: int
+    voltage_mv: int
+
+    def mismatch(self, demanded: "OperatingPoint") -> float:
+        """Relative operating-point error vs what conditions demand."""
+        df = abs(self.frequency_mhz - demanded.frequency_mhz) / max(
+            demanded.frequency_mhz, 1
+        )
+        dv = abs(self.voltage_mv - demanded.voltage_mv) / max(demanded.voltage_mv, 1)
+        return df + dv
+
+
+#: The A100-style DVFS table, low to high.
+DVFS_TABLE: Tuple[OperatingPoint, ...] = (
+    OperatingPoint(765, 700),
+    OperatingPoint(1_065, 775),
+    OperatingPoint(1_275, 825),
+    OperatingPoint(1_410, 875),
+)
+
+#: PMU register numbers on the SPI bus.
+REG_TEMPERATURE = 0x10
+REG_POWER = 0x11
+REG_PSTATE = 0x20
+
+
+@dataclass
+class DvfsReport:
+    ticks: int = 0
+    spi_failures: int = 0  # XID 122 events
+    stale_ticks: int = 0
+    mmu_faults: int = 0  # XID 31 events caused by stale operation
+    #: Per-cascade bookkeeping: SPI failures whose stale window produced at
+    #: least one MMU fault (the paper's 0.82 numerator).
+    failures_with_mmu: int = 0
+
+    @property
+    def p_mmu_given_spi_failure(self) -> float:
+        if self.spi_failures == 0:
+            return float("nan")
+        return self.failures_with_mmu / self.spi_failures
+
+
+class DvfsController:
+    """The driver-side control loop over one GPU's PMU.
+
+    ``mmu_hazard_per_mismatch`` converts operating-point error into a
+    per-tick MMU-fault probability while memory traffic runs; the stale
+    window after an SPI failure lasts ``stale_ticks_after_failure`` ticks
+    (until the driver re-establishes communication).
+    """
+
+    def __init__(
+        self,
+        bus: SpiBus | None = None,
+        *,
+        mmu_hazard_per_mismatch: float = 1.2,
+        stale_ticks_after_failure: int = 3,
+    ) -> None:
+        self.bus = bus or SpiBus()
+        self.mmu_hazard_per_mismatch = mmu_hazard_per_mismatch
+        self.stale_ticks_after_failure = stale_ticks_after_failure
+        self.current = DVFS_TABLE[0]
+        self.report = DvfsReport()
+        self._stale_remaining = 0
+        self._current_cascade_faulted: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def demanded_point(load: float) -> OperatingPoint:
+        """The operating point conditions demand at a given load in [0,1]."""
+        check_probability("load", load)
+        index = min(int(load * len(DVFS_TABLE)), len(DVFS_TABLE) - 1)
+        return DVFS_TABLE[index]
+
+    def tick(self, load: float, rng: np.random.Generator) -> List[int]:
+        """One control interval; returns XIDs logged during it."""
+        self.report.ticks += 1
+        xids: List[int] = []
+        demanded = self.demanded_point(load)
+
+        if self._stale_remaining > 0:
+            self._stale_remaining -= 1
+            self.report.stale_ticks += 1
+            if self._stale_remaining == 0:
+                self._end_cascade()
+        else:
+            status, _temp = self.bus.read(REG_TEMPERATURE, rng)
+            if status is SpiResult.READ_FAILURE:
+                xids.append(122)
+                self.report.spi_failures += 1
+                self._stale_remaining = self.stale_ticks_after_failure
+                self._current_cascade_faulted = False
+            else:
+                # Healthy: program the demanded point.
+                self.bus.write(REG_PSTATE, demanded.frequency_mhz, rng)
+                self.current = demanded
+
+        # Memory traffic runs every tick; a stale operating point is a
+        # hazard proportional to the mismatch.
+        mismatch = self.current.mismatch(demanded)
+        if mismatch > 0:
+            hazard = min(1.0, self.mmu_hazard_per_mismatch * mismatch)
+            if rng.random() < hazard:
+                xids.append(31)
+                self.report.mmu_faults += 1
+                if self._current_cascade_faulted is False:
+                    self._current_cascade_faulted = True
+        return xids
+
+    def _end_cascade(self) -> None:
+        if self._current_cascade_faulted:
+            self.report.failures_with_mmu += 1
+        self._current_cascade_faulted = None
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        n_ticks: int,
+        rng: np.random.Generator,
+        *,
+        load_profile: Optional[np.ndarray] = None,
+    ) -> DvfsReport:
+        """Run the loop under a (varying) load profile."""
+        if load_profile is None:
+            load_profile = rng.uniform(0.0, 1.0, size=n_ticks)
+        for i in range(n_ticks):
+            self.tick(float(load_profile[i % len(load_profile)]), rng)
+        # Close any cascade still open at the end of the run.
+        if self._stale_remaining > 0:
+            self._end_cascade()
+            self._stale_remaining = 0
+        return self.report

@@ -1,0 +1,69 @@
+"""A Serial Peripheral Interface bus with fault injection.
+
+The PMU talks to the driver over SPI; a transaction is a small framed
+register read/write.  Corruption (electrical noise, marginal wiring — the
+class of integration fault the paper attributes peripheral errors to) is
+caught by a frame parity/echo check and retried; a read that exhausts its
+retries is the "PMU SPI RPC read failure" of XID 122.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+
+class SpiResult(enum.Enum):
+    OK = "ok"
+    READ_FAILURE = "read_failure"  # XID 122 after retries
+
+
+@dataclass
+class SpiConfig:
+    #: Per-transaction corruption probability (healthy bus ~1e-9; a
+    #: marginal connector orders of magnitude worse).
+    corruption_prob: float = 1e-6
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        check_probability("corruption_prob", self.corruption_prob)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+@dataclass
+class SpiBus:
+    """The bus plus the PMU's register file behind it."""
+
+    config: SpiConfig = field(default_factory=SpiConfig)
+    registers: Dict[int, int] = field(default_factory=dict)
+    transactions: int = 0
+    corruptions: int = 0
+    read_failures: int = 0
+
+    def write(self, register: int, value: int, rng: np.random.Generator) -> SpiResult:
+        ok = self._transact(rng)
+        if ok:
+            self.registers[register] = value
+            return SpiResult.OK
+        return SpiResult.READ_FAILURE
+
+    def read(self, register: int, rng: np.random.Generator) -> Tuple[SpiResult, Optional[int]]:
+        if self._transact(rng):
+            return SpiResult.OK, self.registers.get(register, 0)
+        return SpiResult.READ_FAILURE, None
+
+    def _transact(self, rng: np.random.Generator) -> bool:
+        """One framed transaction with retry; False = XID-122-class failure."""
+        for _attempt in range(self.config.max_retries + 1):
+            self.transactions += 1
+            if rng.random() >= self.config.corruption_prob:
+                return True
+            self.corruptions += 1
+        self.read_failures += 1
+        return False

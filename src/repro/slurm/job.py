@@ -1,0 +1,109 @@
+"""Job records: the unit the paper's job-impact analysis works on."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+GpuKey = Tuple[str, str]
+
+
+class JobState(enum.Enum):
+    """Slurm-style terminal job states."""
+
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    TIMEOUT = "TIMEOUT"
+    OUT_OF_MEMORY = "OUT_OF_MEMORY"
+    NODE_FAIL = "NODE_FAIL"
+    CANCELLED = "CANCELLED"
+
+
+class ExitCode(enum.IntEnum):
+    """Exit codes used by the substrate (subset of what Delta logs show)."""
+
+    OK = 0
+    GENERIC = 1
+    USER_ERROR = 2
+    KILLED = 137
+    SEGFAULT = 139  # the paper's Incident 1 ends in EXITSTATUS 139
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A job as submitted: everything known before scheduling."""
+
+    job_id: int
+    name: str
+    user: str
+    submit_time: float
+    requested_gpus: int
+    duration: float  # requested/natural runtime in seconds
+    partition: str  # "a40" | "a100" | "h100"
+    is_ml: bool
+    #: Pre-drawn non-GPU fate: jobs fail for user/system reasons at the
+    #: paper's ~25% background rate independent of GPU errors.
+    natural_state: JobState = JobState.COMPLETED
+    natural_exit_code: int = 0
+    #: Number of MMU errors this (buggy) job will emit while running.
+    mmu_emissions: int = 0
+    #: User-induced XID 13 / 43 emissions (excluded by the pipeline).
+    xid13_emissions: int = 0
+    xid43_emissions: int = 0
+
+
+@dataclass
+class JobRecord:
+    """A job as accounted after execution (a row of the Slurm database)."""
+
+    job_id: int
+    name: str
+    user: str
+    submit_time: float
+    start_time: float
+    end_time: float
+    n_gpus: int
+    gpus: Tuple[GpuKey, ...]
+    partition: str
+    is_ml: bool
+    state: JobState = JobState.COMPLETED
+    exit_code: int = 0
+    #: Generation-side truth (never read by the pipeline): the XID that
+    #: killed the job, if any.  Lets tests audit the pipeline's attribution.
+    truth_failed_by_xid: Optional[int] = None
+
+    @property
+    def elapsed(self) -> float:
+        return max(0.0, self.end_time - self.start_time)
+
+    @property
+    def elapsed_minutes(self) -> float:
+        return self.elapsed / 60.0
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted({node for node, _ in self.gpus}))
+
+    @property
+    def gpu_hours(self) -> float:
+        return self.elapsed / 3600.0 * self.n_gpus
+
+    @property
+    def node_hours(self) -> float:
+        return self.elapsed / 3600.0 * len(self.nodes)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state is JobState.COMPLETED and self.exit_code == 0
+
+    def failed_at(self, time: float, xid: int, exit_code: int, state: JobState) -> "JobRecord":
+        """A copy of this record terminated early by a GPU error."""
+        end = min(max(time, self.start_time), self.end_time)
+        return replace(
+            self,
+            end_time=end,
+            state=state,
+            exit_code=exit_code,
+            truth_failed_by_xid=xid,
+        )

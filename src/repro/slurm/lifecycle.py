@@ -1,0 +1,189 @@
+"""Node lifecycle: the drain -> reboot -> health-check recovery loop.
+
+Section 5.4 describes the operator procedure behind every repair incident:
+"operators typically drain the node i.e. wait for other jobs running on the
+node to complete and then reboot. After the reboot, if the node
+successfully passes the health check, the node reset is successful ...
+If the reset is unsuccessful, the node is marked failed until the GPU is
+physically replaced."  Figure 1's incident spends 23 node-hours inside this
+loop.
+
+:class:`NodeLifecycle` is that procedure as an explicit state machine with
+a transition log, so recovery times decompose into drain / reboot /
+health-check / replacement segments instead of a single opaque duration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+
+class NodeState(enum.Enum):
+    IDLE = "idle"
+    ALLOCATED = "allocated"
+    DRAINING = "draining"  # no new jobs; running work finishes
+    REBOOTING = "rebooting"
+    HEALTH_CHECK = "health_check"
+    FAILED = "failed"  # awaiting physical replacement
+
+
+#: Legal transitions; anything else is a programming error.
+_TRANSITIONS = {
+    NodeState.IDLE: {NodeState.ALLOCATED, NodeState.DRAINING, NodeState.REBOOTING},
+    NodeState.ALLOCATED: {NodeState.IDLE, NodeState.DRAINING},
+    NodeState.DRAINING: {NodeState.REBOOTING},
+    NodeState.REBOOTING: {NodeState.HEALTH_CHECK},
+    NodeState.HEALTH_CHECK: {NodeState.IDLE, NodeState.FAILED, NodeState.REBOOTING},
+    NodeState.FAILED: {NodeState.REBOOTING},  # after hardware replacement
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    time: float
+    source: NodeState
+    target: NodeState
+    reason: str = ""
+
+
+@dataclass
+class RecoveryOutcome:
+    """One full pass through the recovery loop."""
+
+    started_at: float
+    finished_at: float
+    drain_hours: float
+    reboot_hours: float
+    health_check_hours: float
+    replaced: bool
+
+    @property
+    def total_hours(self) -> float:
+        return (self.finished_at - self.started_at) / 3600.0
+
+
+@dataclass
+class LifecycleConfig:
+    reboot_hours: float = 0.25
+    health_check_hours: float = 0.05
+    #: Probability the health check passes on the first try.
+    health_pass_prob: float = 0.92
+    #: One failed health check triggers a second reboot; a second failure
+    #: marks the node FAILED pending replacement.
+    replacement_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        check_probability("health_pass_prob", self.health_pass_prob)
+
+
+class NodeLifecycle:
+    """State machine for one node."""
+
+    def __init__(self, node_id: str, config: LifecycleConfig | None = None) -> None:
+        self.node_id = node_id
+        self.config = config or LifecycleConfig()
+        self.state = NodeState.IDLE
+        self.log: List[Transition] = []
+        self._drain_started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def _move(self, time: float, target: NodeState, reason: str = "") -> None:
+        if target not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal transition {self.state.value} -> {target.value} "
+                f"on {self.node_id}"
+            )
+        self.log.append(Transition(time, self.state, target, reason))
+        self.state = target
+
+    def allocate(self, time: float) -> None:
+        self._move(time, NodeState.ALLOCATED, "job scheduled")
+
+    def release(self, time: float) -> None:
+        self._move(time, NodeState.IDLE, "job completed")
+
+    def drain(self, time: float, reason: str) -> None:
+        """An error triggers draining (works from IDLE or ALLOCATED)."""
+        self._move(time, NodeState.DRAINING, reason)
+        self._drain_started = time
+
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        drain_complete_at: float,
+        rng: np.random.Generator,
+    ) -> RecoveryOutcome:
+        """Run the reboot/health-check loop after draining finishes.
+
+        ``drain_complete_at`` is when the last running job vacated the node
+        (Figure 1: up to many hours after the drain started).
+        """
+        if self.state is not NodeState.DRAINING or self._drain_started is None:
+            raise ValueError("recover() requires the node to be draining")
+        config = self.config
+        started = self._drain_started
+        drain_hours = (drain_complete_at - started) / 3600.0
+        if drain_hours < 0:
+            raise ValueError("drain cannot complete before it starts")
+
+        now = drain_complete_at
+        reboot_hours = 0.0
+        health_hours = 0.0
+        replaced = False
+        for attempt in range(2):
+            self._move(now, NodeState.REBOOTING, f"reboot attempt {attempt + 1}")
+            now += config.reboot_hours * 3600.0
+            reboot_hours += config.reboot_hours
+            self._move(now, NodeState.HEALTH_CHECK)
+            now += config.health_check_hours * 3600.0
+            health_hours += config.health_check_hours
+            if rng.random() < config.health_pass_prob:
+                self._move(now, NodeState.IDLE, "health check passed")
+                break
+            # Failed: loop back (HEALTH_CHECK -> REBOOTING) for one retry.
+        if self.state is not NodeState.IDLE:
+            # Two failed health checks: replace hardware, then reboot once.
+            self._move(now, NodeState.FAILED, "health check failed twice")
+            now += config.replacement_hours * 3600.0
+            replaced = True
+            self._move(now, NodeState.REBOOTING, "post-replacement reboot")
+            now += config.reboot_hours * 3600.0
+            reboot_hours += config.reboot_hours
+            self._move(now, NodeState.HEALTH_CHECK)
+            now += config.health_check_hours * 3600.0
+            health_hours += config.health_check_hours
+            self._move(now, NodeState.IDLE, "healthy after replacement")
+
+        self._drain_started = None
+        return RecoveryOutcome(
+            started_at=started,
+            finished_at=now,
+            drain_hours=drain_hours,
+            reboot_hours=reboot_hours,
+            health_check_hours=health_hours,
+            replaced=replaced,
+        )
+
+    # ------------------------------------------------------------------
+
+    def time_in_state(self, state: NodeState, until: float) -> float:
+        """Total seconds spent in ``state`` up to ``until``."""
+        total = 0.0
+        current_state = NodeState.IDLE
+        entered = 0.0
+        for transition in self.log:
+            if current_state is state:
+                total += transition.time - entered
+            current_state = transition.target
+            entered = transition.time
+        if current_state is state:
+            total += until - entered
+        return total

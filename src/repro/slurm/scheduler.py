@@ -1,0 +1,325 @@
+"""GPU scheduling: place the submission stream onto the cluster.
+
+A deliberately simple earliest-available scheduler: each partition (a40 /
+a100 / h100) is a pool of GPUs with release times; a job takes the earliest
+``k`` GPUs, waiting if the pool is busy.  Draining is modelled through
+*blackout intervals*: a GPU inside a blackout accepts no new placements but
+jobs already running on it continue — exactly Slurm's drain semantics, which
+the paper's recovery narrative (Figure 1) relies on.
+
+The resulting :class:`Schedule` exposes an :class:`OccupancyIndex` used both
+by the fault injector (busy/idle placement bias) and by the failure coupler
+(which job was on a GPU when an error hit).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.inventory import ClusterInventory
+from repro.cluster.node import NodeKind
+from repro.slurm.job import GpuKey, JobRecord, JobSpec
+
+Interval = Tuple[float, float]
+
+#: Partition name -> node kinds backing it.
+PARTITIONS: Dict[str, Tuple[NodeKind, ...]] = {
+    "a40": (NodeKind.A40_X4,),
+    "a100": (NodeKind.A100_X4, NodeKind.A100_X8),
+    "h100": (NodeKind.GH200_X4,),
+}
+
+
+class OccupancyIndex:
+    """Per-GPU interval index over a schedule (busy lookup + sampling)."""
+
+    def __init__(self, jobs: Sequence[JobRecord], window_seconds: float) -> None:
+        self.window_seconds = window_seconds
+        per_gpu: Dict[GpuKey, List[Tuple[float, float, int]]] = {}
+        for job in jobs:
+            for gpu in job.gpus:
+                per_gpu.setdefault(gpu, []).append((job.start_time, job.end_time, job.job_id))
+        self._gpus: List[GpuKey] = sorted(per_gpu)
+        self._starts: Dict[GpuKey, np.ndarray] = {}
+        self._ends: Dict[GpuKey, np.ndarray] = {}
+        self._job_ids: Dict[GpuKey, np.ndarray] = {}
+        busy_lengths = []
+        for gpu, intervals in per_gpu.items():
+            intervals.sort()
+            starts = np.array([s for s, _, _ in intervals])
+            ends = np.array([e for _, e, _ in intervals])
+            ids = np.array([j for _, _, j in intervals], dtype=np.int64)
+            self._starts[gpu] = starts
+            self._ends[gpu] = ends
+            self._job_ids[gpu] = ids
+            # Busy time is clipped to the observation window so utilization
+            # stays a fraction even when queued jobs run past the window.
+            clipped = np.clip(ends, None, window_seconds) - np.clip(
+                starts, None, window_seconds
+            )
+            busy_lengths.append(float(np.maximum(clipped, 0.0).sum()))
+        self._busy_lengths = np.array(busy_lengths) if busy_lengths else np.zeros(0)
+        self._busy_cumulative = np.cumsum(self._busy_lengths)
+
+    # -- lookup ----------------------------------------------------------
+
+    def job_at(self, gpu: GpuKey, time: float) -> Optional[int]:
+        """The job ID running on ``gpu`` at ``time`` (None if idle)."""
+        starts = self._starts.get(gpu)
+        if starts is None or starts.size == 0:
+            return None
+        index = int(np.searchsorted(starts, time, side="right")) - 1
+        return self._job_at_index(gpu, time, index)
+
+    #: Alias kept for call sites that emphasize the hot path.
+    job_at_fast = job_at
+
+    def _job_at_index(self, gpu: GpuKey, time: float, index: int) -> Optional[int]:
+        if index < 0:
+            return None
+        if time < float(self._ends[gpu][index]):
+            return int(self._job_ids[gpu][index])
+        return None
+
+    def utilization(self, gpu_population: int | None = None) -> float:
+        """Busy fraction over (tracked or given) GPUs and the window."""
+        n = gpu_population if gpu_population is not None else len(self._gpus)
+        if n == 0 or self.window_seconds <= 0:
+            return 0.0
+        return float(self._busy_lengths.sum()) / (n * self.window_seconds)
+
+    # -- sampling (the injector's OccupancySampler protocol) -------------
+
+    def sample_busy(
+        self, rng: np.random.Generator, n: int
+    ) -> Tuple[List[GpuKey], np.ndarray]:
+        """``n`` (GPU, time) points weighted by busy GPU-time."""
+        if n <= 0 or not self._gpus or self._busy_cumulative[-1] <= 0:
+            return [], np.zeros(0)
+        picks = rng.uniform(0.0, self._busy_cumulative[-1], size=n)
+        gpu_idx = np.searchsorted(self._busy_cumulative, picks, side="right")
+        gpus: List[GpuKey] = []
+        times = np.empty(n)
+        for i, g_index in enumerate(gpu_idx):
+            gpu = self._gpus[int(g_index)]
+            starts = np.minimum(self._starts[gpu], self.window_seconds)
+            ends = np.minimum(self._ends[gpu], self.window_seconds)
+            lengths = np.maximum(ends - starts, 0.0)
+            cumulative = np.cumsum(lengths)
+            offset = rng.uniform(0.0, cumulative[-1])
+            k = int(np.searchsorted(cumulative, offset, side="right"))
+            k = min(k, len(starts) - 1)
+            prior = cumulative[k - 1] if k > 0 else 0.0
+            times[i] = starts[k] + (offset - prior)
+            gpus.append(gpu)
+        return gpus, times
+
+    def sample_idle(
+        self, rng: np.random.Generator, n: int, candidates: Sequence[GpuKey] | None = None
+    ) -> Tuple[List[GpuKey], np.ndarray]:
+        """``n`` (GPU, time) points with no job active (rejection sampling)."""
+        if n <= 0:
+            return [], np.zeros(0)
+        pool: Sequence[GpuKey] = candidates if candidates is not None else self._gpus
+        if not pool:
+            return [], np.zeros(0)
+        gpus: List[GpuKey] = []
+        times: List[float] = []
+        attempts = 0
+        max_attempts = 50 * n + 100
+        while len(gpus) < n and attempts < max_attempts:
+            attempts += 1
+            gpu = pool[int(rng.integers(0, len(pool)))]
+            t = float(rng.uniform(0.0, self.window_seconds))
+            if self.job_at_fast(gpu, t) is None:
+                gpus.append(gpu)
+                times.append(t)
+        # Pathologically full schedules: fall back to busy placement rather
+        # than spinning forever.
+        while len(gpus) < n:
+            extra_gpus, extra_times = self.sample_busy(rng, n - len(gpus))
+            if not extra_gpus:
+                break
+            gpus.extend(extra_gpus)
+            times.extend(float(t) for t in extra_times)
+        return gpus, np.array(times)
+
+
+@dataclass
+class Schedule:
+    """The placed workload plus its GPU population."""
+
+    jobs: List[JobRecord]
+    window_seconds: float
+    gpu_population: Tuple[GpuKey, ...]
+    dropped_jobs: int = 0
+    _occupancy: OccupancyIndex | None = field(default=None, repr=False)
+
+    @property
+    def occupancy(self) -> OccupancyIndex:
+        if self._occupancy is None:
+            self._occupancy = OccupancyIndex(self.jobs, self.window_seconds)
+        return self._occupancy
+
+    def job_by_id(self) -> Dict[int, JobRecord]:
+        return {job.job_id: job for job in self.jobs}
+
+    def utilization(self) -> float:
+        return self.occupancy.utilization(gpu_population=len(self.gpu_population))
+
+
+class GpuScheduler:
+    """Earliest-available GPU scheduler with drain-style blackouts."""
+
+    def __init__(
+        self,
+        cluster: ClusterInventory,
+        *,
+        blackouts: Mapping[GpuKey, Sequence[Interval]] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self._blackouts: Dict[GpuKey, List[Interval]] = {
+            gpu: sorted(intervals) for gpu, intervals in (blackouts or {}).items()
+        }
+        self._pools: Dict[str, List[GpuKey]] = {}
+        for partition, kinds in PARTITIONS.items():
+            gpus = [
+                gpu.key
+                for node in cluster.nodes_of_kind(*kinds)
+                for gpu in node.gpus
+            ]
+            self._pools[partition] = gpus
+
+    def pool_size(self, partition: str) -> int:
+        return len(self._pools.get(partition, ()))
+
+    def schedule(self, jobs: Sequence[JobSpec], window_seconds: float) -> Schedule:
+        """Place every job; jobs whose start would fall past the window are
+        dropped (counted in ``Schedule.dropped_jobs``)."""
+        heaps: Dict[str, List[Tuple[float, GpuKey]]] = {}
+        for partition, gpus in self._pools.items():
+            heaps[partition] = [(0.0, gpu) for gpu in gpus]
+            heapq.heapify(heaps[partition])
+
+        records: List[JobRecord] = []
+        dropped = 0
+        population: set[GpuKey] = set()
+        for spec in sorted(jobs, key=lambda j: j.submit_time):
+            heap = heaps.get(spec.partition)
+            if not heap:
+                dropped += 1
+                continue
+            k = min(spec.requested_gpus, len(heap))
+            taken = self._allocate(heap, spec.submit_time, k)
+            start = max(ready for ready, _ in taken)
+            if start >= window_seconds:
+                # Never starts inside the window: return GPUs untouched.
+                for release, gpu in taken:
+                    heapq.heappush(heap, (release, gpu))
+                dropped += 1
+                continue
+            end = start + spec.duration
+            gpu_keys = tuple(gpu for _, gpu in taken)
+            population.update(gpu_keys)
+            for _, gpu in taken:
+                heapq.heappush(heap, (end, gpu))
+            records.append(
+                JobRecord(
+                    job_id=spec.job_id,
+                    name=spec.name,
+                    user=spec.user,
+                    submit_time=spec.submit_time,
+                    start_time=start,
+                    end_time=end,
+                    n_gpus=k,
+                    gpus=gpu_keys,
+                    partition=spec.partition,
+                    is_ml=spec.is_ml,
+                    state=spec.natural_state,
+                    exit_code=spec.natural_exit_code,
+                )
+            )
+        all_gpus = tuple(g for pool in self._pools.values() for g in pool)
+        return Schedule(
+            jobs=records,
+            window_seconds=window_seconds,
+            gpu_population=all_gpus,
+            dropped_jobs=dropped,
+        )
+
+    def _allocate(
+        self, heap: List[Tuple[float, GpuKey]], submit_time: float, k: int
+    ) -> List[Tuple[float, GpuKey]]:
+        """Take the ``k`` earliest-available GPUs, packed onto one node when
+        a single node can host the job.
+
+        Slurm packs small GPU jobs within a node; node spread matters to the
+        analysis because a job's *node*-hours (Figure 9a's loss accounting)
+        and its exposure to node-local errors scale with it.
+        """
+        # Pop a candidate window: enough to usually contain a same-node set.
+        window = min(len(heap), max(4 * k, 24))
+        candidates: List[Tuple[float, float, GpuKey]] = []  # (ready, release, gpu)
+        for _ in range(window):
+            release, gpu = heapq.heappop(heap)
+            ready = self._skip_blackout(gpu, max(submit_time, release))
+            candidates.append((ready, release, gpu))
+
+        # Packing must never delay the job materially: only candidates ready
+        # within a bounded slack of the plain earliest-k start are eligible
+        # for node-grouping; within that set, fewer nodes win.
+        candidates.sort()
+        plain_start = candidates[k - 1][0]
+        slack = 600.0  # seconds of start delay we trade for packing
+        eligible = [c for c in candidates if c[0] <= plain_start + slack]
+
+        by_node: Dict[str, List[Tuple[float, float, GpuKey]]] = {}
+        for item in eligible:
+            by_node.setdefault(item[2][0], []).append(item)
+        packable = [group for group in by_node.values() if len(group) >= k]
+        if packable:
+            chosen = min(
+                (sorted(group)[:k] for group in packable),
+                key=lambda group: max(r for r, _, _ in group),
+            )
+        else:
+            # Multi-node job: fill the largest eligible nodes first, topping
+            # up with the earliest leftovers.
+            chosen = []
+            taken_keys: set = set()
+            for group in sorted(by_node.values(), key=len, reverse=True):
+                if len(chosen) >= k:
+                    break
+                chosen.extend(sorted(group)[: k - len(chosen)])
+            chosen = chosen[:k]
+            if len(chosen) < k:
+                taken_keys = {gpu for _, _, gpu in chosen}
+                for item in candidates:
+                    if len(chosen) >= k:
+                        break
+                    if item[2] not in taken_keys:
+                        chosen.append(item)
+
+        chosen_keys = {gpu for _, _, gpu in chosen}
+        for ready, release, gpu in candidates:
+            if gpu not in chosen_keys:
+                # Return unused candidates with their *original* release so
+                # later jobs are not penalized by this job's blackout skips.
+                heapq.heappush(heap, (release, gpu))
+        return [(ready, gpu) for ready, _, gpu in chosen]
+
+    def _skip_blackout(self, gpu: GpuKey, ready: float) -> float:
+        """Advance ``ready`` past any blackout (drain) interval covering it."""
+        intervals = self._blackouts.get(gpu)
+        if not intervals:
+            return ready
+        for start, end in intervals:
+            if start <= ready < end:
+                ready = end
+            elif start > ready:
+                break
+        return ready

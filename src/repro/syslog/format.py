@@ -1,0 +1,147 @@
+"""Rendering fault events as NVIDIA-driver kernel log lines.
+
+Line shape (mirroring production ``NVRM: Xid`` messages)::
+
+    2022-03-14T02:11:09.113 gpub042 kernel: NVRM: Xid (PCI:0000:C7:00): 119, pid=8821, Timeout after 6s of waiting for RPC response from GPU0 GSP!
+
+An event with a nonzero *persistence* renders as a duplicate burst: the same
+message repeated with inter-line gaps strictly below the pipeline's 5-second
+coalescing window, first line at the event's start and last line exactly at
+``start + persistence`` — so a correct Algorithm-1 implementation recovers
+one error with the generated persistence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import Dict, Iterable, Iterator, List
+
+import numpy as np
+
+from repro.faults.events import ErrorEvent
+from repro.faults.xid import Xid
+from repro.util.timeutil import format_timestamp
+
+#: Inter-line gaps inside a duplicate burst (seconds); strictly below the
+#: 5-second coalescing window so a burst always coalesces into one error.
+BURST_GAP_LOW = 2.4
+BURST_GAP_HIGH = 4.9
+
+#: One human-readable message template per XID (``{pci}`` / ``{detail}``
+#: placeholders).  Templates intentionally mimic the phrasing of NVIDIA's
+#: XID documentation so the extraction regexes face realistic text.
+XID_MESSAGES: Dict[Xid, str] = {
+    Xid.GENERAL_SW: "Graphics Exception: ESR 0x{detail:x}, general software error",
+    Xid.MMU: "MMU Fault: ENGINE GRAPHICS GPCCLIENT faulted @ 0x7f{detail:07x}_00000000",
+    Xid.RESET_CHANNEL: "Reset Channel Verification Error on channel {detail}",
+    Xid.DBE: "DBE (Double Bit Error) ECC Error detected at row 0x{detail:x}",
+    Xid.RRE: "Row Remapping Event: row 0x{detail:x} remapped to spare",
+    Xid.RRF: "Row Remapping Failure: no spare rows for bank 0x{detail:x}",
+    Xid.NVLINK: "NVLink: fatal error detected on link {detail}",
+    Xid.FALLEN_OFF_BUS: "GPU has fallen off the bus",
+    Xid.CONTAINED: "Contained ECC error: uncorrectable error contained, process terminated",
+    Xid.UNCONTAINED: "Uncontained ECC error: uncorrectable error could not be contained",
+    Xid.GSP: "Timeout after 6s of waiting for RPC response from GSP! "
+    "Expected function {detail} (GSP_RM_CONTROL)",
+    Xid.PMU_SPI: "PMU SPI RPC read failure, communication with PMU lost (cmd 0x{detail:x})",
+    # XID 136 is undocumented in NVIDIA's manual; production logs show a
+    # bare status word, which is what we render.
+    Xid.XID_136: "Status 0x{detail:x}",
+}
+
+
+def _event_detail(event: ErrorEvent) -> int:
+    """A deterministic per-event detail word (stable across renders)."""
+    acc = 1469598103934665603
+    for token in (event.node_id, event.pci_bus, str(int(event.xid)), f"{event.time:.3f}"):
+        for byte in token.encode():
+            acc ^= byte
+            acc = (acc * 1099511628211) % (1 << 64)
+    return acc % 0xFFFF
+
+
+def render_line(event: ErrorEvent, at_time: float, pid: int | None = None) -> str:
+    """One syslog line for ``event`` stamped at ``at_time``."""
+    message = XID_MESSAGES[event.xid].format(detail=_event_detail(event), pci=event.pci_bus)
+    pid_text = str(pid) if pid is not None else "'<unknown>'"
+    return (
+        f"{format_timestamp(at_time)} {event.node_id} kernel: "
+        f"NVRM: Xid (PCI:{event.pci_bus}): {int(event.xid)}, pid={pid_text}, {message}"
+    )
+
+
+def burst_offsets(persistence: float, rng: np.random.Generator) -> np.ndarray:
+    """Line offsets for a duplicate burst spanning ``persistence`` seconds.
+
+    Always includes 0.0; for positive persistence the last offset is exactly
+    ``persistence`` and consecutive offsets differ by less than the
+    coalescing window.
+    """
+    if persistence <= 0.0:
+        return np.zeros(1)
+    # Enough gaps that their cumulative sum is guaranteed to cover the span
+    # (sizing by the mean gap can leave a >window hole at the burst's end,
+    # which would split the error in two during coalescing).
+    n_gaps = max(1, int(math.ceil(persistence / BURST_GAP_LOW)) + 1)
+    gaps = rng.uniform(BURST_GAP_LOW, BURST_GAP_HIGH, size=n_gaps)
+    offsets = np.concatenate(([0.0], np.cumsum(gaps)))
+    offsets = offsets[offsets < persistence]
+    return np.concatenate((offsets, [persistence]))
+
+
+def _event_seed(seed: int, event: ErrorEvent) -> int:
+    key = f"{seed}|{event.node_id}|{event.pci_bus}|{int(event.xid)}|{event.time:.3f}"
+    return zlib.crc32(key.encode())
+
+
+def render_event_lines(
+    event: ErrorEvent,
+    seed: int = 0,
+    pid: int | None = None,
+) -> List[str]:
+    """All syslog lines (the duplicate burst) for one event.
+
+    The message body is computed once per event (duplicate lines are
+    byte-identical except for their timestamps, exactly like the driver's
+    repeated logging), and burst gaps come from a cheap per-event-seeded
+    RNG so output is deterministic regardless of rendering order.
+    """
+    message = XID_MESSAGES[event.xid].format(detail=_event_detail(event), pci=event.pci_bus)
+    pid_text = str(pid) if pid is not None else "'<unknown>'"
+    suffix = (
+        f" {event.node_id} kernel: NVRM: Xid (PCI:{event.pci_bus}): "
+        f"{int(event.xid)}, pid={pid_text}, {message}"
+    )
+    start = event.time
+    if event.persistence <= 0.0:
+        return [format_timestamp(start) + suffix]
+    rnd = random.Random(_event_seed(seed, event))
+    lines = [format_timestamp(start) + suffix]
+    offset = rnd.uniform(BURST_GAP_LOW, BURST_GAP_HIGH)
+    while offset < event.persistence:
+        lines.append(format_timestamp(start + offset) + suffix)
+        offset += rnd.uniform(BURST_GAP_LOW, BURST_GAP_HIGH)
+    lines.append(format_timestamp(start + event.persistence) + suffix)
+    return lines
+
+
+def render_trace(
+    events: Iterable[ErrorEvent],
+    seed: int = 0,
+    pids: Dict[int, int] | None = None,
+) -> Iterator[str]:
+    """Render a full trace, streaming lines event-by-event.
+
+    Lines are *not* globally time-ordered (overlapping bursts from different
+    events interleave in real logs too; the per-node log files the paper
+    mined are only approximately ordered).  The analysis pipeline sorts
+    parsed records itself and must never rely on input ordering.
+
+    ``pids`` optionally maps an event's index (enumeration order) to the
+    owning process ID for job-attributed errors.
+    """
+    for index, event in enumerate(events):
+        pid = pids.get(index) if pids else None
+        yield from render_event_lines(event, seed=seed, pid=pid)

@@ -1,0 +1,30 @@
+"""Reading log files back as line streams."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, Sequence
+
+
+def iter_log_lines(path: str | Path) -> Iterator[str]:
+    """Stream lines from one log file (plain or ``.gz``), newline-stripped."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as handle:  # type: ignore[operator]
+        for line in handle:
+            yield line.rstrip("\n")
+
+
+def read_log_directory(directory: str | Path) -> Iterator[str]:
+    """Stream lines from every ``*.log`` / ``*.log.gz`` file in a directory.
+
+    Files are visited in sorted order; within a file, lines stream in file
+    order.  No global time ordering is implied (the pipeline sorts).
+    """
+    directory = Path(directory)
+    paths: Sequence[Path] = sorted(
+        p for p in directory.iterdir() if p.name.endswith((".log", ".log.gz"))
+    )
+    for path in paths:
+        yield from iter_log_lines(path)

@@ -1,0 +1,63 @@
+"""Writing rendered log lines to per-node files (optionally gzip-compressed).
+
+The paper collected "system logs from all compute nodes"; we mirror that as
+one file per node under a directory, so the reading side
+(:mod:`repro.syslog.reader`) and the extraction stage face the same file
+layout a real collection pipeline would.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+
+def _node_of(line: str) -> str:
+    """Extract the hostname field (second token) of a syslog line."""
+    try:
+        return line.split(" ", 2)[1]
+    except IndexError:
+        return "unknown"
+
+
+def write_node_logs(
+    lines: Iterable[str],
+    directory: str | Path,
+    *,
+    compress: bool = False,
+    sort_within_node: bool = True,
+) -> List[Path]:
+    """Write lines into ``<directory>/<node>.log[.gz]``, one file per node.
+
+    Returns the written paths.  With ``sort_within_node`` each node's lines
+    are ordered by their timestamp prefix (ISO-8601 sorts lexically), as a
+    node-local syslog daemon would produce.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    buckets: Dict[str, List[str]] = {}
+    for line in lines:
+        buckets.setdefault(_node_of(line), []).append(line)
+
+    paths: List[Path] = []
+    for node_id, node_lines in sorted(buckets.items()):
+        if sort_within_node:
+            node_lines.sort()  # timestamp-prefixed => chronological
+        suffix = ".log.gz" if compress else ".log"
+        path = directory / f"{node_id}{suffix}"
+        if compress:
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                _write_all(handle, node_lines)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                _write_all(handle, node_lines)
+        paths.append(path)
+    return paths
+
+
+def _write_all(handle: io.TextIOBase, lines: List[str]) -> None:
+    for line in lines:
+        handle.write(line)
+        handle.write("\n")

@@ -1,0 +1,25 @@
+"""DCGM-style GPU telemetry: the paper's utilization data source.
+
+Section 2.4 characterizes Delta's utilization from GPU monitoring data:
+A100s around 51%, A40s around 40%, H100s around 20% with some GPUs "not
+being scheduled at all".  This subpackage emits per-GPU metric samples
+(utilization, cumulative ECC counters, retired pages) from a schedule and
+a fault trace — the nvidia-smi/DCGM view of the same world the syslog
+renders — and analyzes them back into the Section-2.4 statistics.
+"""
+
+from repro.telemetry.metrics import (
+    GpuSample,
+    MetricsEmitter,
+    UtilizationAnalyzer,
+    UtilizationSummary,
+    load_samples_csv,
+)
+
+__all__ = [
+    "GpuSample",
+    "MetricsEmitter",
+    "UtilizationAnalyzer",
+    "UtilizationSummary",
+    "load_samples_csv",
+]

@@ -1,0 +1,189 @@
+"""Per-GPU metric sampling and utilization analysis.
+
+``MetricsEmitter`` walks a schedule's occupancy and a fault trace at a
+fixed sampling interval and produces :class:`GpuSample` rows — the shape a
+DCGM/nvidia-smi collector exports.  ``UtilizationAnalyzer`` recovers
+Section 2.4's per-model utilization statistics from the samples alone.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.gpu import GpuModel
+from repro.cluster.inventory import ClusterInventory
+from repro.faults.events import FaultTrace
+from repro.faults.xid import Xid
+from repro.slurm.scheduler import Schedule
+
+GpuKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class GpuSample:
+    """One sampling-interval row for one GPU."""
+
+    time: float
+    node_id: str
+    pci_bus: str
+    model: str
+    utilization: float  # busy fraction of the interval, [0, 1]
+    ecc_dbe_total: int  # cumulative double-bit errors so far
+    retired_pages: int  # cumulative containment page-offlines so far
+
+    @property
+    def gpu_key(self) -> GpuKey:
+        return (self.node_id, self.pci_bus)
+
+
+class MetricsEmitter:
+    """Sample a dataset's schedule + trace into DCGM-style rows."""
+
+    def __init__(
+        self,
+        cluster: ClusterInventory,
+        schedule: Schedule,
+        trace: FaultTrace,
+        *,
+        interval_hours: float = 24.0,
+    ) -> None:
+        if interval_hours <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.cluster = cluster
+        self.schedule = schedule
+        self.trace = trace
+        self.interval_seconds = interval_hours * 3600.0
+
+    def samples(self, models: Sequence[GpuModel] | None = None) -> Iterator[GpuSample]:
+        """Yield samples for every GPU of the requested models."""
+        occupancy = self.schedule.occupancy
+        window = self.schedule.window_seconds
+        wanted = set(models) if models else None
+
+        # Cumulative error counters per GPU, ordered by time.
+        dbe_times: Dict[GpuKey, List[float]] = {}
+        offline_times: Dict[GpuKey, List[float]] = {}
+        for event in self.trace.events:
+            if event.xid is Xid.DBE:
+                dbe_times.setdefault(event.gpu_key, []).append(event.time)
+            elif event.xid is Xid.CONTAINED:
+                offline_times.setdefault(event.gpu_key, []).append(event.time)
+
+        times = np.arange(self.interval_seconds, window + 1.0, self.interval_seconds)
+        for node in self.cluster.gpu_nodes:
+            for gpu in node.gpus:
+                if wanted is not None and gpu.model not in wanted:
+                    continue
+                starts = occupancy._starts.get(gpu.key)
+                ends = occupancy._ends.get(gpu.key)
+                for t in times:
+                    lo = t - self.interval_seconds
+                    busy = 0.0
+                    if starts is not None:
+                        clipped = np.minimum(ends, t) - np.maximum(starts, lo)
+                        busy = float(np.clip(clipped, 0.0, None).sum())
+                    yield GpuSample(
+                        time=float(t),
+                        node_id=gpu.node_id,
+                        pci_bus=gpu.pci_bus,
+                        model=gpu.model.value,
+                        utilization=min(busy / self.interval_seconds, 1.0),
+                        ecc_dbe_total=_count_before(dbe_times.get(gpu.key), t),
+                        retired_pages=_count_before(offline_times.get(gpu.key), t),
+                    )
+
+    def write_csv(self, path: str | Path,
+                  models: Sequence[GpuModel] | None = None) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["time", "node", "pci_bus", "model", "utilization",
+                 "ecc_dbe_total", "retired_pages"]
+            )
+            for sample in self.samples(models):
+                writer.writerow(
+                    [f"{sample.time:.0f}", sample.node_id, sample.pci_bus,
+                     sample.model, f"{sample.utilization:.4f}",
+                     sample.ecc_dbe_total, sample.retired_pages]
+                )
+        return path
+
+
+def _count_before(times: Optional[List[float]], t: float) -> int:
+    if not times:
+        return 0
+    return int(np.searchsorted(np.asarray(times), t, side="right"))
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    model: str
+    n_gpus: int
+    mean: float
+    median: float
+    never_scheduled: int
+
+    @property
+    def never_scheduled_fraction(self) -> float:
+        return self.never_scheduled / self.n_gpus if self.n_gpus else 0.0
+
+
+class UtilizationAnalyzer:
+    """Section 2.4's statistics, recovered from metric samples alone."""
+
+    def __init__(self, samples: Iterable[GpuSample]) -> None:
+        self._per_gpu: Dict[GpuKey, List[float]] = {}
+        self._model: Dict[GpuKey, str] = {}
+        for sample in samples:
+            self._per_gpu.setdefault(sample.gpu_key, []).append(sample.utilization)
+            self._model[sample.gpu_key] = sample.model
+
+    def per_gpu_mean(self) -> Dict[GpuKey, float]:
+        return {
+            gpu: float(np.mean(values)) for gpu, values in self._per_gpu.items()
+        }
+
+    def summary(self, model: str) -> UtilizationSummary:
+        means = [
+            float(np.mean(values))
+            for gpu, values in self._per_gpu.items()
+            if self._model[gpu] == model
+        ]
+        if not means:
+            return UtilizationSummary(model, 0, 0.0, 0.0, 0)
+        arr = np.asarray(means)
+        return UtilizationSummary(
+            model=model,
+            n_gpus=arr.size,
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            never_scheduled=int(np.sum(arr == 0.0)),
+        )
+
+def load_samples_csv(path: str | Path) -> List[GpuSample]:
+    """Read back a ``write_csv`` export."""
+    out: List[GpuSample] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            out.append(
+                GpuSample(
+                    time=float(row["time"]),
+                    node_id=row["node"],
+                    pci_bus=row["pci_bus"],
+                    model=row["model"],
+                    utilization=float(row["utilization"]),
+                    ecc_dbe_total=int(row["ecc_dbe_total"]),
+                    retired_pages=int(row["retired_pages"]),
+                )
+            )
+    return out

@@ -1,0 +1,26 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for inline use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for inline use."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, allow_zero: bool = True) -> float:
+    """Require a fraction in [0, 1] (or (0, 1] when ``allow_zero=False``)."""
+    low_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value!r}")
+    return value

@@ -1,0 +1,35 @@
+"""Dependency-free SVG figure rendering.
+
+The evaluation's tables render as text (:mod:`repro.core.report`); this
+package draws the paper's *figures* as standalone SVG files with no
+plotting dependency — bar charts, CDFs, and the propagation graphs of
+Figures 5-7 — so ``examples/render_figures.py`` can emit a ``figures/``
+directory from any dataset.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.charts import bar_chart, cdf_chart, grouped_bar_chart, line_chart
+from repro.viz.figures import (
+    propagation_figure,
+    render_all_figures,
+    unavailability_cdf_figure,
+    elapsed_histogram_figure,
+    errors_vs_duration_figure,
+    mtbe_figure,
+    overprovision_figure,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "bar_chart",
+    "cdf_chart",
+    "grouped_bar_chart",
+    "line_chart",
+    "propagation_figure",
+    "render_all_figures",
+    "unavailability_cdf_figure",
+    "elapsed_histogram_figure",
+    "errors_vs_duration_figure",
+    "mtbe_figure",
+    "overprovision_figure",
+]

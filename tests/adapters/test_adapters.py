@@ -1,0 +1,106 @@
+"""Real-world log-format adapters."""
+
+import datetime as dt
+
+import pytest
+
+from repro.adapters import (
+    parse_dmesg_line,
+    parse_dmesg_lines,
+    parse_journal_line,
+    parse_journal_lines,
+    parse_rfc3164_line,
+    parse_rfc3164_lines,
+)
+from repro.core.coalesce import coalesce_errors
+
+BODY = "NVRM: Xid (PCI:0000:C7:00): 119, pid=8821, Timeout after 6s of waiting"
+
+
+class TestDmesg:
+    def test_parses_uptime_and_fields(self):
+        record = parse_dmesg_line(
+            f"[  123.456789] {BODY}", node_id="gpub042", boot_epoch=1_000.0
+        )
+        assert record is not None
+        assert record.time == pytest.approx(1_123.456789)
+        assert record.node_id == "gpub042"
+        assert record.xid == 119
+        assert record.pid == 8821
+
+    def test_non_xid_rejected(self):
+        assert parse_dmesg_line("[  1.0] usb 1-1: new device", node_id="n") is None
+
+    def test_bulk(self):
+        lines = [f"[ {t}.000000] {BODY}" for t in (1, 2, 3)] + ["[ 4.0] noise"]
+        records = parse_dmesg_lines(lines, node_id="n1")
+        assert len(records) == 3
+        assert [r.time for r in records] == [1.0, 2.0, 3.0]
+
+    def test_feeds_the_pipeline(self):
+        lines = [f"[ {t}.000000] {BODY}" for t in (10, 12, 14, 300)]
+        errors = coalesce_errors(parse_dmesg_lines(lines, node_id="n1"))
+        assert len(errors) == 2  # burst of 3 + isolated 1
+
+
+class TestJournal:
+    def test_utc_offset_honoured(self):
+        base = parse_journal_line(f"2022-01-01T12:00:00+0000 gpua001 kernel: {BODY}")
+        shifted = parse_journal_line(f"2022-01-01T14:00:00+0200 gpua001 kernel: {BODY}")
+        assert base is not None and shifted is not None
+        assert base.time == shifted.time
+
+    def test_zulu_suffix(self):
+        record = parse_journal_line(f"2022-01-01T00:00:05Z gpua001 kernel: {BODY}")
+        assert record is not None and record.time == 5.0
+
+    def test_no_offset(self):
+        record = parse_journal_line(f"2022-01-01T00:00:05 gpua001 kernel: {BODY}")
+        assert record is not None and record.time == 5.0
+
+    def test_custom_epoch(self):
+        epoch = dt.datetime(2024, 8, 1)
+        record = parse_journal_line(
+            f"2024-08-01T00:01:00+0000 gh001 kernel: {BODY}", epoch=epoch
+        )
+        assert record is not None and record.time == 60.0
+
+    def test_bulk_filters_noise(self):
+        lines = [
+            f"2022-01-01T00:00:01+0000 n1 kernel: {BODY}",
+            "2022-01-01T00:00:02+0000 n1 systemd[1]: Started session",
+        ]
+        assert len(parse_journal_lines(lines)) == 1
+
+
+class TestRfc3164:
+    def test_basic_line(self):
+        record = parse_rfc3164_line(f"May  1 12:00:00 gpua001 kernel: {BODY}", year=2022)
+        assert record is not None
+        assert record.node_id == "gpua001"
+        expected = (dt.datetime(2022, 5, 1, 12) - dt.datetime(2022, 1, 1)).total_seconds()
+        assert record.time == expected
+
+    def test_year_wrap_across_new_year(self):
+        lines = [
+            f"Dec 31 23:59:00 n1 kernel: {BODY}",
+            f"Jan  1 00:01:00 n1 kernel: {BODY}",
+        ]
+        records = parse_rfc3164_lines(lines, year=2022)
+        assert len(records) == 2
+        assert records[1].time - records[0].time == pytest.approx(120.0)
+
+    def test_unknown_month_rejected(self):
+        assert parse_rfc3164_line(f"Foo  1 12:00:00 n1 kernel: {BODY}", year=2022) is None
+
+
+class TestCrossFormatAgreement:
+    def test_same_event_same_record_across_formats(self):
+        native_time = (dt.datetime(2022, 3, 4, 5, 6, 7) - dt.datetime(2022, 1, 1)).total_seconds()
+        journal = parse_journal_line(f"2022-03-04T05:06:07+0000 n1 kernel: {BODY}")
+        rfc = parse_rfc3164_line(f"Mar  4 05:06:07 n1 kernel: {BODY}", year=2022)
+        dmesg = parse_dmesg_line(f"[ 7.000000] {BODY}", node_id="n1",
+                                 boot_epoch=native_time - 7.0)
+        assert journal.time == rfc.time == pytest.approx(dmesg.time)
+        assert journal.xid == rfc.xid == dmesg.xid == 119
+        assert journal.message == rfc.message == dmesg.message

@@ -1,0 +1,97 @@
+"""Cluster substrate: GPU specs, nodes, Delta inventory."""
+
+import pytest
+
+from repro.cluster.gpu import (
+    GPU_SPECS,
+    GpuArchitecture,
+    GpuModel,
+    pci_bus_for_slot,
+)
+from repro.cluster.inventory import ClusterInventory, DeltaShape, build_delta_cluster
+from repro.cluster.node import NODE_CONFIGS, NodeKind, make_node
+
+
+class TestGpuSpecs:
+    def test_every_model_has_a_spec(self):
+        assert set(GPU_SPECS) == {GpuModel.A40, GpuModel.A100, GpuModel.H100}
+
+    def test_a40_lacks_containment(self):
+        # Section 2.3.2: error containment / page offlining are A100+H100 only.
+        assert not GPU_SPECS[GpuModel.A40].supports_error_containment
+        assert GPU_SPECS[GpuModel.A100].supports_error_containment
+        assert GPU_SPECS[GpuModel.H100].supports_page_offlining
+
+    def test_architectures(self):
+        assert GPU_SPECS[GpuModel.A100].architecture is GpuArchitecture.AMPERE
+        assert GPU_SPECS[GpuModel.H100].architecture is GpuArchitecture.HOPPER
+
+    def test_ampere_row_remap_budget(self):
+        # Table 1 footnote: Ampere supports up to 512 row remappings.
+        assert GPU_SPECS[GpuModel.A100].max_row_remaps == 512
+
+    def test_pci_slots_unique(self):
+        buses = [pci_bus_for_slot(i) for i in range(8)]
+        assert len(set(buses)) == 8
+
+    def test_pci_slot_out_of_range(self):
+        with pytest.raises(ValueError):
+            pci_bus_for_slot(8)
+
+
+class TestNodes:
+    def test_make_node_instantiates_gpus(self):
+        node = make_node(NodeKind.A100_X8, 3)
+        assert node.node_id == "gpuc003"
+        assert node.gpu_count == 8
+        assert all(g.model is GpuModel.A100 for g in node.gpus)
+
+    def test_cpu_node_has_no_gpus(self):
+        node = make_node(NodeKind.CPU, 1)
+        assert not node.is_gpu_node
+
+    def test_gpu_by_bus(self):
+        node = make_node(NodeKind.A40_X4, 1)
+        gpu = node.gpus[2]
+        assert node.gpu_by_bus(gpu.pci_bus) is gpu
+        with pytest.raises(KeyError):
+            node.gpu_by_bus("0000:FF:00")
+
+    def test_every_kind_has_config(self):
+        assert set(NODE_CONFIGS) == set(NodeKind)
+
+
+class TestDeltaInventory:
+    def test_paper_shape(self, delta_cluster):
+        summary = delta_cluster.summary()
+        # Figure 2: 132 CPU nodes + 286 GPU nodes; 1,168 GPUs; 206 Ampere
+        # nodes with 848 Ampere GPUs.
+        assert summary["cpu_nodes"] == 132
+        assert summary["gpu_nodes"] == 286
+        assert summary["gpus"] == 1168
+        assert summary["ampere_nodes"] == 206
+        assert summary["ampere_gpus"] == 848
+        assert summary["hopper_gpus"] == 320
+
+    def test_gpu_lookup(self, delta_cluster):
+        node = delta_cluster.gpu_nodes[0]
+        gpu = node.gpus[0]
+        assert delta_cluster.gpu(node.node_id, gpu.pci_bus) is gpu
+
+    def test_duplicate_node_ids_rejected(self):
+        node = make_node(NodeKind.A40_X4, 1)
+        with pytest.raises(ValueError):
+            ClusterInventory([node, node])
+
+    def test_scaled_shape_keeps_every_kind(self):
+        cluster = build_delta_cluster(scale=0.05)
+        kinds = {n.kind for n in cluster.nodes}
+        assert kinds == set(NodeKind)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeltaShape().scaled(0.0)
+
+    def test_contains(self, delta_cluster):
+        assert "gpua001" in delta_cluster
+        assert "nope" not in delta_cluster

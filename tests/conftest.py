@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+The expensive synthetic datasets are session-scoped: many test modules share
+one small Ampere dataset (scale 0.02, ~1,300 errors, ~29k jobs) and one H100
+dataset, so the suite stays fast while still exercising the full substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import DeltaShape, build_delta_cluster
+from repro.core import DeltaStudy
+from repro.datasets import synthesize_delta, synthesize_h100
+
+#: One fixed seed for the shared datasets; individual tests that probe
+#: seed-sensitivity build their own.
+SEED = 1234
+
+#: Scale of the shared Ampere dataset (fraction of the 855-day window).
+SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def delta_cluster():
+    """The full Delta-shaped cluster (286 GPU nodes, 1,168 GPUs)."""
+    return build_delta_cluster()
+
+
+@pytest.fixture(scope="session")
+def small_cluster():
+    """A miniature cluster with every node kind present."""
+    return build_delta_cluster(DeltaShape(2, 3, 3, 1, 2))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The shared small Ampere dataset (jobs + errors + logs)."""
+    return synthesize_delta(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def study(dataset):
+    """A DeltaStudy over the shared dataset with stages pre-run."""
+    built = DeltaStudy.from_dataset(dataset)
+    built.errors  # force Stage I+II once for the whole session
+    return built
+
+
+@pytest.fixture(scope="session")
+def h100_dataset():
+    return synthesize_h100(seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def h100_study(h100_dataset):
+    built = DeltaStudy.from_dataset(h100_dataset)
+    built.errors
+    return built

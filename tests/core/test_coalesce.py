@@ -1,0 +1,110 @@
+"""Stage II: Algorithm 1 — coalescing and persistence."""
+
+import pytest
+
+from repro.core.coalesce import CoalesceConfig, CoalescedError, coalesce_errors, to_arrays
+from repro.core.parsing import RawXidRecord
+
+
+def _record(t, msg="same", node="n1", pci="0000:07:00", xid=95):
+    return RawXidRecord(time=t, node_id=node, pci_bus=pci, xid=xid, message=msg)
+
+
+class TestAlgorithm1:
+    def test_burst_merges_into_one_error(self):
+        records = [_record(t) for t in (0.0, 3.0, 6.0, 10.0)]
+        errors = coalesce_errors(records)
+        assert len(errors) == 1
+        error = errors[0]
+        assert error.time == 0.0
+        assert error.persistence == pytest.approx(10.0)
+        assert error.n_raw == 4
+
+    def test_gap_beyond_window_splits(self):
+        records = [_record(t) for t in (0.0, 3.0, 10.0, 12.0)]
+        errors = coalesce_errors(records)
+        assert len(errors) == 2
+        assert errors[0].persistence == pytest.approx(3.0)
+        assert errors[1].time == 10.0
+
+    def test_boundary_gap_exactly_window_merges(self):
+        # Algorithm 1 uses <= dt.
+        records = [_record(0.0), _record(5.0)]
+        assert len(coalesce_errors(records)) == 1
+
+    def test_different_messages_never_merge(self):
+        records = [_record(0.0, msg="a"), _record(1.0, msg="b")]
+        assert len(coalesce_errors(records)) == 2
+
+    def test_different_gpus_never_merge(self):
+        records = [_record(0.0), _record(1.0, pci="0000:46:00")]
+        assert len(coalesce_errors(records)) == 2
+
+    def test_different_nodes_never_merge(self):
+        records = [_record(0.0), _record(1.0, node="n2")]
+        assert len(coalesce_errors(records)) == 2
+
+    def test_different_xids_never_merge(self):
+        records = [_record(0.0, xid=119), _record(1.0, xid=122)]
+        assert len(coalesce_errors(records)) == 2
+
+    def test_input_order_irrelevant(self):
+        records = [_record(t) for t in (6.0, 0.0, 10.0, 3.0)]
+        errors = coalesce_errors(records)
+        assert len(errors) == 1 and errors[0].persistence == pytest.approx(10.0)
+
+    def test_single_record_zero_persistence(self):
+        errors = coalesce_errors([_record(42.0)])
+        assert errors[0].persistence == 0.0 and errors[0].n_raw == 1
+
+    def test_output_sorted_by_time(self):
+        records = [
+            _record(100.0, node="n2"),
+            _record(0.0),
+            _record(50.0, node="n3"),
+        ]
+        errors = coalesce_errors(records)
+        assert [e.time for e in errors] == [0.0, 50.0, 100.0]
+
+
+class TestOneDayCutoff:
+    def test_very_long_burst_is_split_at_cutoff(self):
+        # A 2-day continuous burst (the paper's 17-day saga, scaled): splits
+        # into runs of at most one day each.
+        records = [_record(float(t)) for t in range(0, 2 * 86_400 + 8_000, 4)]
+        errors = coalesce_errors(records)
+        assert len(errors) >= 2
+        assert all(e.persistence <= 86_400.0 for e in errors)
+        total = sum(e.n_raw for e in errors)
+        assert total == len(records)
+
+    def test_custom_cutoff(self):
+        records = [_record(float(t)) for t in range(0, 100, 4)]
+        errors = coalesce_errors(records, CoalesceConfig(max_persistence=30.0))
+        assert all(e.persistence <= 30.0 for e in errors)
+        assert len(errors) == 4  # 96s span split into <=30s runs
+
+
+class TestConfig:
+    def test_window_sensitivity(self):
+        records = [_record(t) for t in (0.0, 8.0, 16.0)]
+        narrow = coalesce_errors(records, CoalesceConfig(window_seconds=5.0))
+        wide = coalesce_errors(records, CoalesceConfig(window_seconds=10.0))
+        assert len(narrow) == 3 and len(wide) == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CoalesceConfig(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            CoalesceConfig(max_persistence=-1.0)
+
+
+class TestToArrays:
+    def test_columnar_view(self):
+        errors = [
+            CoalescedError(1.0, "n1", "p", 95, 2.0, 3),
+            CoalescedError(5.0, "n1", "p", 31, 0.0, 1),
+        ]
+        arrays = to_arrays(errors)
+        assert list(arrays["xid"]) == [95, 31]
+        assert list(arrays["n_raw"]) == [3, 1]

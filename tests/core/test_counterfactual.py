@@ -1,0 +1,73 @@
+"""Section 5.5 counterfactual analysis."""
+
+import pytest
+
+from repro.core.coalesce import CoalescedError
+from repro.core.counterfactual import CounterfactualAnalyzer
+from repro.core.mtbe import ErrorStatistics
+
+
+def _error(t, xid, pci="0000:07:00"):
+    return CoalescedError(t, "n1", pci, int(xid), 0.0, 1)
+
+
+class TestOffenderDetection:
+    def test_concentrated_gpu_flagged(self):
+        errors = [_error(float(i), 95) for i in range(98)] + [
+            _error(1_000.0, 95, pci="0000:46:00"),
+            _error(1_001.0, 95, pci="0000:85:00"),
+        ]
+        stats = ErrorStatistics(errors, 1_000.0, 10)
+        analyzer = CounterfactualAnalyzer(stats, mttr_hours=0.3)
+        assert ("n1", "0000:07:00") in analyzer.offender_gpus()
+
+    def test_diffuse_code_has_no_offenders(self):
+        errors = [_error(float(i), 31, pci=f"0000:{i:02x}:00") for i in range(100)]
+        stats = ErrorStatistics(errors, 1_000.0, 10)
+        analyzer = CounterfactualAnalyzer(stats, mttr_hours=0.3)
+        assert analyzer.offender_gpus() == []
+
+    def test_single_event_gpus_never_offenders(self):
+        # A GPU with one error of a rare code can hold 100% share; the
+        # count>1 guard must keep it out.
+        errors = [_error(0.0, 48)]
+        stats = ErrorStatistics(errors, 1_000.0, 10)
+        analyzer = CounterfactualAnalyzer(stats, mttr_hours=0.3)
+        assert analyzer.offender_gpus() == []
+
+
+class TestScenarios:
+    def test_report_improvements(self):
+        offender = [_error(float(i), 95) for i in range(900)]
+        background = [
+            # Distinct PCI space so no background GPU collides with the
+            # offender's bus address.
+            _error(2_000.0 + i, 31, pci=f"0000:{(i % 60) + 64:02x}:00")
+            for i in range(100)
+        ]
+        stats = ErrorStatistics(offender + background, 10_000.0, 10)
+        report = CounterfactualAnalyzer(stats, mttr_hours=0.3).analyze()
+        assert report.baseline_mtbe_node_hours == pytest.approx(100.0)
+        assert report.without_offenders_mtbe_node_hours == pytest.approx(1_000.0)
+        assert report.offender_improvement == pytest.approx(10.0)
+
+    def test_hardware_exclusion_on_top(self):
+        errors = [
+            _error(float(i), 31, pci=f"0000:{(i % 60):02x}:00") for i in range(50)
+        ] + [_error(5_000.0 + i, 119, pci=f"0000:{(i % 60):02x}:00") for i in range(50)]
+        stats = ErrorStatistics(errors, 10_000.0, 10)
+        report = CounterfactualAnalyzer(stats, mttr_hours=0.3).analyze()
+        assert report.hardware_additional_improvement == pytest.approx(2.0)
+
+    def test_availability_projection(self):
+        errors = [_error(float(i), 31, pci=f"0000:{(i % 60):02x}:00") for i in range(100)]
+        stats = ErrorStatistics(errors, 10_000.0, 10)
+        report = CounterfactualAnalyzer(stats, mttr_hours=0.5).analyze()
+        assert report.baseline_availability == pytest.approx(1_000.0 / 1_000.5)
+
+    def test_dataset_counterfactual_matches_paper_shape(self, study):
+        report = study.counterfactual().analyze()
+        assert report.offender_improvement == pytest.approx(3.0, abs=1.0)
+        assert 1.05 < report.hardware_additional_improvement < 1.45
+        assert report.improved_availability > report.baseline_availability
+        assert report.improved_availability == pytest.approx(0.9987, abs=0.0012)

@@ -1,0 +1,163 @@
+"""Job-impact analysis: classification, Table 2, Table 3, Figure 9a/9b."""
+
+import pytest
+
+from repro.core.coalesce import CoalescedError
+from repro.core.jobimpact import ATTRIBUTION_WINDOW, JobImpactAnalyzer
+from repro.faults.xid import Xid
+from repro.slurm.accounting import SlurmDatabase
+from repro.slurm.job import JobRecord, JobState
+
+
+def _job(job_id, start, end, state=JobState.COMPLETED, exit_code=0, gpus=None,
+         name="namd_run"):
+    return JobRecord(
+        job_id=job_id,
+        name=name,
+        user="u001",
+        submit_time=start,
+        start_time=start,
+        end_time=end,
+        n_gpus=len(gpus) if gpus else 1,
+        gpus=tuple(gpus) if gpus else (("n1", "0000:07:00"),),
+        partition="a100",
+        is_ml=False,
+        state=state,
+        exit_code=exit_code,
+    )
+
+
+def _error(t, xid=Xid.GSP, node="n1", pci="0000:07:00"):
+    return CoalescedError(
+        time=t, node_id=node, pci_bus=pci, xid=int(xid), persistence=0.0, n_raw=1
+    )
+
+
+class TestClassification:
+    def test_failure_right_after_error_is_gpu_failed(self):
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.NODE_FAIL, exit_code=1)]
+        errors = [_error(990.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        classified = analyzer.classify_jobs()
+        assert classified[1] == (True, (int(Xid.GSP),))
+
+    def test_error_outside_attribution_window_not_blamed(self):
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.FAILED, exit_code=1)]
+        errors = [_error(1_000.0 - ATTRIBUTION_WINDOW - 5.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.classify_jobs()[1][0] is False
+
+    def test_successful_job_never_gpu_failed(self):
+        jobs = [_job(1, 0.0, 1_000.0)]
+        errors = [_error(995.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.classify_jobs()[1][0] is False
+
+    def test_error_on_foreign_gpu_not_blamed(self):
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.FAILED, exit_code=1)]
+        errors = [_error(995.0, pci="0000:46:00")]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.classify_jobs()[1][0] is False
+
+    def test_all_window_codes_held_responsible(self):
+        # PMU -> MMU chain: both codes within the window share the blame.
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.FAILED, exit_code=139)]
+        errors = [_error(985.0, Xid.PMU_SPI), _error(988.0, Xid.MMU)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.classify_jobs()[1][1] == (int(Xid.MMU), int(Xid.PMU_SPI))
+
+    def test_user_codes_ignored(self):
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.FAILED, exit_code=1)]
+        errors = [_error(995.0, Xid.GENERAL_SW)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.classify_jobs()[1][0] is False
+
+
+class TestTable2:
+    def test_rows_built_from_encounters_and_failures(self):
+        jobs = [
+            _job(1, 0.0, 1_000.0, state=JobState.NODE_FAIL, exit_code=1),
+            _job(2, 2_000.0, 3_000.0),  # encounters but survives
+        ]
+        errors = [_error(990.0), _error(2_500.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        (row,) = analyzer.table2()
+        assert row.xid == int(Xid.GSP)
+        assert row.jobs_encountering == 2
+        assert row.gpu_failed_jobs == 1
+        assert row.failure_probability == pytest.approx(0.5)
+
+    def test_total_gpu_failed(self):
+        jobs = [_job(1, 0.0, 1_000.0, state=JobState.NODE_FAIL, exit_code=1)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), [_error(990.0)])
+        assert analyzer.total_gpu_failed() == 1
+
+    def test_dataset_table2_probabilities(self, study):
+        rows = {r.xid: r for r in study.job_impact().table2()}
+        mmu = rows.get(int(Xid.MMU))
+        assert mmu is not None
+        assert mmu.failure_probability == pytest.approx(0.5867, abs=0.12)
+
+
+class TestTable3:
+    def test_bucket_assignment_and_stats(self):
+        jobs = [
+            _job(1, 0.0, 600.0),
+            _job(2, 0.0, 1_200.0),
+            _job(3, 0.0, 600.0, gpus=[("n1", "0000:07:00"), ("n1", "0000:46:00")]),
+        ]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), [])
+        rows = {r.label: r for r in analyzer.table3()}
+        assert rows["1"].count == 2
+        assert rows["2-4"].count == 1
+        assert rows["1"].mean_minutes == pytest.approx(15.0)
+        assert rows["1"].share == pytest.approx(2 / 3)
+
+    def test_ml_hours_classified_by_name(self):
+        jobs = [
+            _job(1, 0.0, 3_600.0, name="train_resnet50"),
+            _job(2, 0.0, 3_600.0, name="namd_run"),
+        ]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), [])
+        row = analyzer.table3()[0]
+        assert row.ml_gpu_hours == pytest.approx(1.0)
+        assert row.non_ml_gpu_hours == pytest.approx(1.0)
+
+    def test_empty_bucket_rendered_as_zero(self):
+        analyzer = JobImpactAnalyzer(SlurmDatabase([_job(1, 0.0, 10.0)]), [])
+        rows = {r.label: r for r in analyzer.table3()}
+        assert rows["256+"].count == 0
+
+
+class TestFigure9:
+    def test_elapsed_histogram_partitions_jobs(self):
+        jobs = [
+            _job(1, 0.0, 300.0),  # 5 min, completed
+            _job(2, 0.0, 7_200.0, state=JobState.FAILED, exit_code=1),  # gpu-failed
+        ]
+        errors = [_error(7_190.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        histogram = analyzer.elapsed_histogram(edges_minutes=(0, 60, 240))
+        assert histogram.completed == (1, 0)
+        assert histogram.gpu_failed == (0, 1)
+
+    def test_lost_node_hours(self):
+        jobs = [_job(1, 0.0, 7_200.0, state=JobState.FAILED, exit_code=1,
+                     gpus=[("n1", "0000:07:00"), ("n2", "0000:07:00")])]
+        errors = [_error(7_190.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        assert analyzer.lost_node_hours() == pytest.approx(4.0)
+
+    def test_errors_vs_duration_series(self):
+        jobs = [_job(1, 0.0, 120_000.0)]  # 2,000 min, completed
+        errors = [_error(t) for t in (1_000.0, 2_000.0, 3_000.0)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), errors)
+        series = analyzer.errors_vs_duration(edges_minutes=(0, 1_000, 4_000))
+        assert series["completed"][1][1] == pytest.approx(3.0)
+
+    def test_non_gpu_failures_excluded_from_figure9b(self):
+        jobs = [_job(1, 0.0, 60_000.0, state=JobState.FAILED, exit_code=1)]
+        analyzer = JobImpactAnalyzer(SlurmDatabase(jobs), [])
+        series = analyzer.errors_vs_duration(edges_minutes=(0, 4_000))
+        assert series["completed"][0][1] == 0.0
+        assert series["gpu_failed"][0][1] == 0.0

@@ -1,0 +1,94 @@
+"""Section 5.4 overprovisioning emulation."""
+
+import pytest
+
+from repro.core.overprovision import (
+    BASE_AVAILABILITY,
+    OverprovisionConfig,
+    OverprovisionSimulator,
+    required_overprovision_analytic,
+)
+
+
+class TestConfig:
+    def test_effective_rate_at_base_availability(self):
+        config = OverprovisionConfig()
+        # 800 nodes x 1%/h = 8 failures/hour.
+        assert config.effective_failure_rate_per_hour == pytest.approx(8.0)
+
+    def test_better_availability_cuts_rate(self):
+        base = OverprovisionConfig()
+        improved = OverprovisionConfig(availability=0.9987)
+        assert improved.effective_failure_rate_per_hour < (
+            base.effective_failure_rate_per_hour * 0.4
+        )
+
+    def test_hold_mean_grows_with_recovery(self):
+        fast = OverprovisionConfig(recovery_minutes=5.0)
+        slow = OverprovisionConfig(recovery_minutes=40.0)
+        assert slow.hold_mean_hours > fast.hold_mean_hours * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverprovisionConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            OverprovisionConfig(failure_prob_per_hour=2.0)
+
+
+class TestAnalytic:
+    def test_paper_anchor_40min_is_20_percent(self):
+        fraction = required_overprovision_analytic(OverprovisionConfig())
+        assert fraction == pytest.approx(0.20, abs=0.025)
+
+    def test_paper_anchor_5min_is_5_percent(self):
+        fraction = required_overprovision_analytic(
+            OverprovisionConfig(recovery_minutes=5.0)
+        )
+        assert fraction == pytest.approx(0.05, abs=0.015)
+
+    def test_availability_projection_reduces_overprovision(self):
+        base = required_overprovision_analytic(OverprovisionConfig())
+        improved = required_overprovision_analytic(
+            OverprovisionConfig(availability=0.9987)
+        )
+        # Paper Section 5.5: ~4x reduction.
+        assert base / improved > 2.5
+
+    def test_zero_rate_zero_spares(self):
+        config = OverprovisionConfig(availability=1.0 - 1e-12)
+        assert required_overprovision_analytic(config) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSimulation:
+    def test_trial_counts_failures(self):
+        simulator = OverprovisionSimulator(OverprovisionConfig(n_trials=1))
+        result = simulator.run_trial(spares=100)
+        # ~8 failures/hour over 720 hours.
+        assert result.n_failures == pytest.approx(5_760, rel=0.1)
+        assert result.peak_down > 0
+
+    def test_more_spares_less_blocking(self):
+        simulator = OverprovisionSimulator(OverprovisionConfig(n_trials=2))
+        assert simulator.blocked_fraction(10) > simulator.blocked_fraction(200)
+
+    def test_simulated_requirement_matches_analytic(self):
+        config = OverprovisionConfig(n_trials=3, seed=5)
+        simulated = OverprovisionSimulator(config).required_overprovision()
+        analytic = required_overprovision_analytic(config)
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_goodput_accounts_for_stalls(self):
+        result = OverprovisionSimulator(OverprovisionConfig(n_trials=1)).run_trial(400)
+        assert 0.0 <= result.goodput <= 1.0
+        assert result.stall_fraction > 0.0
+
+    def test_sweep_monotone_in_recovery_time(self):
+        simulator = OverprovisionSimulator(OverprovisionConfig(n_trials=2))
+        results = simulator.sweep(recovery_minutes=(5.0, 40.0))
+        assert results[(40.0, BASE_AVAILABILITY)] > results[(5.0, BASE_AVAILABILITY)]
+
+    def test_deterministic_per_seed(self):
+        config = OverprovisionConfig(n_trials=1, seed=9)
+        a = OverprovisionSimulator(config).run_trial(100)
+        b = OverprovisionSimulator(config).run_trial(100)
+        assert a == b

@@ -1,0 +1,74 @@
+"""Stage I: XID extraction from raw syslog."""
+
+import pytest
+
+from repro.core.parsing import parse_line, parse_syslog
+
+GOOD = (
+    "2022-03-14T02:11:09.113 gpub042 kernel: "
+    "NVRM: Xid (PCI:0000:C7:00): 119, pid=8821, Timeout after 6s of waiting "
+    "for RPC response from GSP! Expected function 76 (GSP_RM_CONTROL)"
+)
+
+
+class TestParseLine:
+    def test_extracts_all_fields(self):
+        record = parse_line(GOOD)
+        assert record is not None
+        assert record.node_id == "gpub042"
+        assert record.pci_bus == "0000:C7:00"
+        assert record.xid == 119
+        assert record.pid == 8821
+        assert record.message.startswith("Timeout after 6s")
+        assert record.time > 0
+
+    def test_unknown_pid_parses_as_none(self):
+        line = GOOD.replace("pid=8821", "pid='<unknown>'")
+        record = parse_line(line)
+        assert record is not None and record.pid is None
+
+    def test_gpu_key(self):
+        assert parse_line(GOOD).gpu_key == ("gpub042", "0000:C7:00")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "2022-01-01T00:00:01.000 gpua001 systemd[1]: Started Session 4",
+            "2022-01-01T00:00:01.000 gpua001 gpumond[12]: GPU 3 utilization ok",
+            "random text with no structure",
+            "",
+            # Near-miss: right marker, wrong structure.
+            "2022-01-01T00:00:01.000 gpua001 kernel: NVRM: Xid malformed",
+        ],
+    )
+    def test_non_xid_lines_rejected(self, line):
+        assert parse_line(line) is None
+
+    def test_whole_second_timestamps_accepted(self):
+        line = GOOD.replace("02:11:09.113", "02:11:09")
+        record = parse_line(line)
+        assert record is not None
+
+    def test_case_sensitive_marker(self):
+        assert parse_line(GOOD.replace("NVRM: Xid", "nvrm: xid")) is None
+
+
+class TestParseSyslog:
+    def test_filters_and_orders_preserved(self):
+        lines = ["noise", GOOD, "more noise", GOOD.replace("119", "31")]
+        records = parse_syslog(lines)
+        assert [r.xid for r in records] == [119, 31]
+
+    def test_empty_input(self):
+        assert parse_syslog([]) == []
+
+    def test_round_trip_with_renderer(self, dataset):
+        # Every rendered XID line in the shared dataset must parse; noise
+        # must not.
+        from repro.core.parsing import iter_parse_syslog
+
+        n_records = sum(1 for _ in iter_parse_syslog(dataset.log_lines()))
+        n_xid_lines = sum(
+            1 for line in dataset.log_lines(include_noise=False)
+        )
+        assert n_records == n_xid_lines

@@ -1,0 +1,53 @@
+"""End-to-end pipeline orchestration."""
+
+import pytest
+
+from repro.core import DeltaStudy
+from repro.core.coalesce import CoalesceConfig
+
+
+class TestDeltaStudy:
+    def test_errors_cached(self, study):
+        first = study.errors
+        assert first is study.errors
+
+    def test_run_bundles_everything(self, study):
+        report = study.run()
+        assert report.statistics.total_count > 0
+        assert report.job_impact is not None
+        assert report.availability is not None
+        assert report.counterfactual is not None
+        assert report.propagation_graph.source_counts
+
+    def test_job_impact_requires_database(self):
+        study = DeltaStudy([], window_hours=10.0, n_nodes=1)
+        with pytest.raises(ValueError):
+            study.job_impact()
+        with pytest.raises(ValueError):
+            study.availability()
+
+    def test_counterfactual_without_db_uses_default_mttr(self):
+        study = DeltaStudy([], window_hours=10.0, n_nodes=1)
+        analyzer = study.counterfactual()
+        assert analyzer.mttr_hours == pytest.approx(0.3)
+
+    def test_from_dataset_wires_window_and_nodes(self, dataset, study):
+        assert study.window_hours == pytest.approx(dataset.window_seconds / 3600.0)
+        assert study.n_nodes == dataset.reference_node_count
+
+    def test_custom_coalesce_config_respected(self, dataset):
+        wide = DeltaStudy.from_dataset(
+            dataset, coalesce_config=CoalesceConfig(window_seconds=600.0)
+        )
+        narrow_count = len(DeltaStudy.from_dataset(dataset).errors)
+        assert len(wide.errors) < narrow_count
+
+    def test_delta_t_insensitivity_5_to_20_seconds(self, dataset):
+        # Paper Section 3.2: results stable for dt in [5s, 20s].
+        count_5 = len(DeltaStudy.from_dataset(dataset).errors)
+        count_20 = len(
+            DeltaStudy.from_dataset(
+                dataset, coalesce_config=CoalesceConfig(window_seconds=20.0)
+            ).errors
+        )
+        assert abs(count_5 - count_20) / count_5 < 0.05

@@ -1,0 +1,173 @@
+"""Reliability statistics: CIs, distribution fits, trend tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.coalesce import CoalescedError
+from repro.core.reliability import (
+    ConfidenceInterval,
+    fit_exponential,
+    fit_weibull,
+    interarrival_times,
+    mtbe_confidence_interval,
+    trend_test,
+)
+
+
+def _errors(times):
+    return [CoalescedError(float(t), "n1", "p", 31, 0.0, 1) for t in times]
+
+
+class TestInterarrival:
+    def test_gaps(self):
+        gaps = interarrival_times(_errors([0.0, 10.0, 30.0]))
+        assert list(gaps) == [10.0, 20.0]
+
+    def test_unsorted_input_ok(self):
+        gaps = interarrival_times(_errors([30.0, 0.0, 10.0]))
+        assert list(gaps) == [10.0, 20.0]
+
+    def test_too_few(self):
+        assert interarrival_times(_errors([1.0])).size == 0
+
+
+class TestConfidenceInterval:
+    def test_covers_true_mean_of_poisson_process(self):
+        rng = np.random.default_rng(0)
+        true_mtbe_hours = 2.0
+        times = np.cumsum(rng.exponential(true_mtbe_hours * 3600.0, size=800))
+        interval = mtbe_confidence_interval(_errors(times))
+        assert interval.contains(true_mtbe_hours)
+        assert interval.low < interval.point < interval.high
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = _errors(np.cumsum(rng.exponential(3_600.0, size=30)))
+        large = _errors(np.cumsum(rng.exponential(3_600.0, size=3_000)))
+        wide = mtbe_confidence_interval(small)
+        narrow = mtbe_confidence_interval(large)
+        assert narrow.relative_width < wide.relative_width
+
+    def test_deterministic_per_seed(self):
+        errors = _errors([0, 100, 300, 700, 1500])
+        a = mtbe_confidence_interval(errors, seed=3)
+        b = mtbe_confidence_interval(errors, seed=3)
+        assert a == b
+
+    def test_needs_three_errors(self):
+        with pytest.raises(ValueError):
+            mtbe_confidence_interval(_errors([0.0, 1.0]))
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self):
+        rng = np.random.default_rng(2)
+        gaps = rng.exponential(7_200.0, size=5_000)  # mean 2h
+        fit = fit_exponential(gaps)
+        assert fit.rate_per_hour == pytest.approx(0.5, rel=0.05)
+        assert fit.mean_hours == pytest.approx(2.0, rel=0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.zeros(3))
+
+
+class TestWeibullFit:
+    def test_recovers_exponential_as_shape_one(self):
+        rng = np.random.default_rng(3)
+        gaps = rng.exponential(3_600.0, size=4_000)
+        fit = fit_weibull(gaps)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)
+        assert fit.is_memoryless
+
+    def test_detects_bursty_process(self):
+        rng = np.random.default_rng(4)
+        gaps = rng.weibull(0.5, size=4_000) * 3_600.0
+        fit = fit_weibull(gaps)
+        assert fit.shape == pytest.approx(0.5, abs=0.06)
+        assert fit.is_bursty
+
+    def test_recovers_scale(self):
+        rng = np.random.default_rng(5)
+        gaps = rng.weibull(1.5, size=6_000) * 7_200.0  # scale 2h
+        fit = fit_weibull(gaps)
+        assert fit.scale_hours == pytest.approx(2.0, rel=0.1)
+
+    def test_weibull_beats_exponential_on_bursty_data(self):
+        rng = np.random.default_rng(6)
+        gaps = rng.weibull(0.4, size=2_000) * 3_600.0
+        assert fit_weibull(gaps).log_likelihood > fit_exponential(gaps).log_likelihood
+
+    def test_needs_enough_data(self):
+        with pytest.raises(ValueError):
+            fit_weibull(np.array([1.0, 2.0]))
+
+
+class TestTrendTest:
+    def test_uniform_arrivals_stationary(self):
+        rng = np.random.default_rng(7)
+        times = rng.uniform(0, 1e6, size=500)
+        result = trend_test(_errors(times), 1e6)
+        assert result.stationary
+
+    def test_early_concentration_is_improvement(self):
+        rng = np.random.default_rng(8)
+        times = rng.uniform(0, 2e5, size=300)  # all in the first 20%
+        result = trend_test(_errors(times), 1e6)
+        assert result.improving
+
+    def test_late_concentration_is_degradation(self):
+        rng = np.random.default_rng(9)
+        times = rng.uniform(8e5, 1e6, size=300)
+        result = trend_test(_errors(times), 1e6)
+        assert result.degrading
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trend_test(_errors([1.0]), 10.0)
+        with pytest.raises(ValueError):
+            trend_test(_errors([1.0, 2.0, 3.0]), 0.0)
+
+
+class TestRollingMtbe:
+    def test_buckets_cover_window(self):
+        from repro.core.reliability import rolling_mtbe
+
+        errors = _errors([1e5, 2e5, 9e5])
+        series = rolling_mtbe(errors, 1e6, bucket_days=5.0, n_nodes=10)
+        assert len(series) >= 2
+        midpoints = [m for m, _ in series]
+        assert midpoints == sorted(midpoints)
+
+    def test_empty_bucket_infinite(self):
+        from repro.core.reliability import rolling_mtbe
+        import math
+
+        errors = _errors([100.0])
+        series = rolling_mtbe(errors, 20 * 86_400.0, bucket_days=10.0, n_nodes=5)
+        assert math.isinf(series[-1][1])
+        assert series[0][1] == 10 * 24 * 5  # one error in a 1,200 node-hour bucket
+
+    def test_validation(self):
+        from repro.core.reliability import rolling_mtbe
+
+        with pytest.raises(ValueError):
+            rolling_mtbe([], 0.0)
+
+
+class TestOnDataset:
+    def test_offender_stream_is_bursty_background_is_not(self, study):
+        """The uncontained offender produces a clearly sub-exponential
+        (bursty) arrival process; GSP arrivals are near-memoryless."""
+        errors = study.error_statistics().errors
+        uncontained = [e for e in errors if e.xid == 95]
+        gsp = [e for e in errors if e.xid == 119]
+        weibull_unc = fit_weibull(interarrival_times(uncontained))
+        weibull_gsp = fit_weibull(interarrival_times(gsp))
+        assert weibull_unc.shape < weibull_gsp.shape
+
+    def test_mtbe_interval_brackets_table1(self, study):
+        errors = [e for e in study.error_statistics().errors if e.xid == 31]
+        interval = mtbe_confidence_interval(errors)
+        # System-hours MTBE for MMU is ~1.09h in Table 1.
+        assert interval.contains(1.09) or abs(interval.point - 1.09) < 0.4

@@ -1,0 +1,95 @@
+"""Report rendering: every table/figure renderer produces sane text."""
+
+import pytest
+
+from repro.core.report import (
+    render_counterfactual,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_figure9,
+    render_overprovision,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.faults.calibration import AMPERE_CALIBRATION
+
+
+@pytest.fixture(scope="module")
+def pieces(study):
+    return {
+        "stats": study.error_statistics(),
+        "impact": study.job_impact(),
+        "availability": study.availability(),
+        "propagation": study.propagation(),
+        "counterfactual": study.counterfactual().analyze(),
+    }
+
+
+class TestTableRenders:
+    def test_table1_contains_paper_columns(self, pieces):
+        text = render_table1(pieces["stats"], AMPERE_CALIBRATION, scale=0.02)
+        assert "MTBE/node paper" in text
+        assert "Uncontained ECC" in text
+        assert "Memory vs hardware MTBE ratio" in text
+
+    def test_table1_without_profile(self, pieces):
+        text = render_table1(pieces["stats"])
+        assert "Table 1" in text
+
+    def test_table2_mentions_total_failed(self, pieces):
+        text = render_table2(pieces["impact"])
+        assert "Total GPU-failed jobs" in text
+        assert "MMU Err." in text
+
+    def test_table3_has_all_buckets(self, pieces):
+        text = render_table3(pieces["impact"])
+        for label in ("1", "2-4", "8-32", "256+"):
+            assert f"| {label} " in text
+
+
+class TestFigureRenders:
+    def test_figure5(self, pieces):
+        text = render_figure5(pieces["propagation"])
+        assert "GSP -> PMU SPI" in text and "paper 0.82" in text
+
+    def test_figure6(self, pieces):
+        text = render_figure6(pieces["propagation"])
+        assert "NVLink -> peer GPU" in text
+
+    def test_figure7(self, pieces):
+        text = render_figure7(pieces["propagation"])
+        assert "DBE impact alleviated" in text
+
+    def test_figure9(self, pieces):
+        text = render_figure9(pieces["impact"], pieces["availability"])
+        assert "node-hours lost" in text
+        assert "availability" in text
+
+    def test_counterfactual(self, pieces):
+        text = render_counterfactual(pieces["counterfactual"])
+        assert "without top offenders" in text
+
+    def test_overprovision_marks_paper_anchors(self):
+        text = render_overprovision({(40.0, 0.995): 0.2, (5.0, 0.995): 0.05})
+        assert "20%" in text and "5%" in text
+
+    def test_generations(self, study):
+        from repro.core.comparison import GenerationComparison
+        from repro.core.report import render_generations
+
+        text = render_generations(
+            GenerationComparison(study.error_statistics(), study.propagation())
+        )
+        assert "Kepler" in text
+        assert "New Ampere-era failure modes" in text
+
+    def test_spatial(self, study):
+        from repro.core.report import render_spatial
+        from repro.core.spatial import SpatialAnalyzer
+
+        text = render_spatial(
+            SpatialAnalyzer(study.error_statistics().errors, n_gpus=848)
+        )
+        assert "Gini" in text and "| 95 " in text

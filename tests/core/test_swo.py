@@ -1,0 +1,64 @@
+"""System-wide outage attribution."""
+
+import pytest
+
+from repro.core.coalesce import CoalescedError
+from repro.core.swo import (
+    SwoAnalyzer,
+    SwoCause,
+    SystemWideOutage,
+    delta_swos,
+)
+
+
+def _error(t, node="n1"):
+    return CoalescedError(t, node, "p", 119, 0.0, 1)
+
+
+class TestDeltaSwos:
+    def test_eight_outages_with_paper_mix(self):
+        outages = delta_swos(1e6)
+        assert len(outages) == 8
+        causes = [o.cause for o in outages]
+        assert causes.count(SwoCause.NETWORK) == 3
+        assert causes.count(SwoCause.FILESYSTEM) == 2
+        assert causes.count(SwoCause.MAINTENANCE) == 2
+        assert causes.count(SwoCause.POWER) == 1
+
+    def test_within_window(self):
+        outages = delta_swos(1e6)
+        assert all(0 <= o.start_time < 1e6 for o in outages)
+
+
+class TestAttribution:
+    def test_quiet_outage_not_gpu_attributable(self):
+        errors = [_error(t) for t in (100.0, 200.0)]
+        outage = SystemWideOutage(1e5, 6.0, SwoCause.NETWORK)
+        analyzer = SwoAnalyzer(errors)
+        (attribution,) = analyzer.attribute([outage])
+        assert not attribution.gpu_attributable
+        assert attribution.preceding_gpu_errors == 0
+
+    def test_cluster_wide_storm_is_attributable(self):
+        storm_start = 1e5 - 1_000.0
+        errors = [
+            _error(storm_start + i * 10.0, node=f"n{i % 20}") for i in range(100)
+        ]
+        outage = SystemWideOutage(1e5, 6.0, SwoCause.UNKNOWN)
+        (attribution,) = SwoAnalyzer(errors).attribute([outage])
+        assert attribution.gpu_attributable
+        assert attribution.nodes_involved == 20
+
+    def test_single_sick_gpu_storm_is_not_attributable(self):
+        # The offender GPU pattern: huge volume, one node -> not an SWO cause.
+        errors = [_error(1e5 - 1_000.0 + i * 10.0) for i in range(100)]
+        outage = SystemWideOutage(1e5, 6.0, SwoCause.UNKNOWN)
+        (attribution,) = SwoAnalyzer(errors).attribute([outage])
+        assert attribution.preceding_gpu_errors == 100
+        assert not attribution.gpu_attributable
+
+    def test_paper_claim_on_dataset(self, study, dataset):
+        """None of the eight Delta SWOs were caused by GPU errors."""
+        errors = study.error_statistics().errors
+        analyzer = SwoAnalyzer(errors)
+        assert analyzer.none_gpu_caused(delta_swos(dataset.window_seconds))

@@ -1,0 +1,75 @@
+"""Dataset persistence round-trip."""
+
+import pytest
+
+from repro.core import DeltaStudy
+from repro.datasets import load_dataset, save_dataset, synthesize_delta
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    dataset = synthesize_delta(scale=0.004, seed=21)
+    directory = tmp_path_factory.mktemp("cache") / "ds"
+    save_dataset(dataset, directory)
+    return dataset, directory
+
+
+class TestRoundTrip:
+    def test_layout(self, saved):
+        _, directory = saved
+        for name in ("logs", "slurm.jsonl", "trace.jsonl", "pids.json", "meta.json"):
+            assert (directory / name).exists()
+
+    def test_trace_identical(self, saved):
+        original, directory = saved
+        restored = load_dataset(directory)
+        assert len(restored.trace) == len(original.trace)
+        for a, b in zip(original.trace.events, restored.trace.events):
+            assert (a.time, a.gpu_key, a.xid, a.persistence, a.chain_id,
+                    a.chain_pos, a.inoperable) == (
+                b.time, b.gpu_key, b.xid, b.persistence, b.chain_id,
+                b.chain_pos, b.inoperable,
+            )
+
+    def test_slurm_db_and_pids(self, saved):
+        original, directory = saved
+        restored = load_dataset(directory)
+        assert len(restored.slurm_db) == len(original.slurm_db)
+        assert restored.pids == original.pids
+
+    def test_metadata(self, saved):
+        original, directory = saved
+        restored = load_dataset(directory)
+        assert restored.profile.name == original.profile.name
+        assert restored.config.scale == original.config.scale
+        assert restored.window_seconds == original.window_seconds
+
+    def test_analysis_identical_after_reload(self, saved):
+        original, directory = saved
+        restored = load_dataset(directory)
+        counts_a = DeltaStudy.from_dataset(original).error_statistics().counts()
+        counts_b = DeltaStudy.from_dataset(restored).error_statistics().counts()
+        assert counts_a == counts_b
+
+    def test_unknown_profile_rejected(self, saved, tmp_path):
+        import json
+        import shutil
+
+        _, directory = saved
+        clone = tmp_path / "clone"
+        shutil.copytree(directory, clone)
+        meta = json.loads((clone / "meta.json").read_text())
+        meta["profile"] = "delta-blackwell"
+        (clone / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_dataset(clone)
+
+
+class TestTraceFile:
+    def test_bad_header_rejected(self, tmp_path):
+        from repro.faults.events import FaultTrace
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        with pytest.raises(ValueError):
+            FaultTrace.load(path)

@@ -1,0 +1,46 @@
+"""Calibration self-check diagnostics."""
+
+import pytest
+
+from repro.faults.calibration import AMPERE_CALIBRATION, H100_CALIBRATION
+from repro.faults.diagnostics import check_calibration
+from repro.faults.xid import Xid
+
+
+@pytest.fixture(scope="module")
+def report(delta_cluster):
+    return check_calibration(AMPERE_CALIBRATION, scale=0.05, cluster=delta_cluster)
+
+
+class TestAmpereCalibration:
+    def test_kernel_consistent(self, report):
+        assert report.kernel_consistent
+
+    def test_all_measurable_codes_within_tolerance(self, report):
+        assert report.within(0.15), report.render()
+
+    def test_every_code_checked(self, report):
+        assert {c.xid for c in report.checks} == set(AMPERE_CALIBRATION.xids)
+
+    def test_render_flags_nothing(self, report):
+        assert "<-- off" not in report.render()
+        assert "delta-ampere" in report.render()
+
+    def test_worst_is_a_measurable_code(self, report):
+        worst = report.worst()
+        assert worst is not None
+        assert worst.expected >= 20
+
+
+class TestH100Calibration:
+    def test_h100_counts_realize(self, delta_cluster):
+        report = check_calibration(H100_CALIBRATION, scale=1.0, cluster=delta_cluster)
+        assert report.kernel_consistent
+        xid136 = next(c for c in report.checks if c.xid is Xid.XID_136)
+        assert xid136.realized == pytest.approx(70, abs=3)
+
+
+class TestCountCheck:
+    def test_relative_error(self, report):
+        uncontained = next(c for c in report.checks if c.xid is Xid.UNCONTAINED)
+        assert abs(uncontained.relative_error) < 0.05

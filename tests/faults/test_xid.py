@@ -1,0 +1,55 @@
+"""XID catalog invariants."""
+
+from repro.faults.xid import (
+    HARDWARE_MTBE_XIDS,
+    MEMORY_MTBE_XIDS,
+    STUDIED_XIDS,
+    XID_CATALOG,
+    RecoveryAction,
+    Xid,
+    XidCategory,
+    studied,
+    xids_in_category,
+)
+
+
+class TestCatalog:
+    def test_every_code_catalogued(self):
+        assert set(XID_CATALOG) == set(Xid)
+
+    def test_table1_rows_are_studied(self):
+        # The ten Table-1 codes.
+        expected = {31, 48, 63, 64, 74, 79, 94, 95, 119, 122}
+        assert {int(x) for x in STUDIED_XIDS} == expected
+
+    def test_user_codes_excluded(self):
+        assert not XID_CATALOG[Xid.GENERAL_SW].studied
+        assert not XID_CATALOG[Xid.RESET_CHANNEL].studied
+
+    def test_categories_match_paper_taxonomy(self):
+        assert XID_CATALOG[Xid.GSP].category is XidCategory.HARDWARE
+        assert XID_CATALOG[Xid.DBE].category is XidCategory.MEMORY
+        assert XID_CATALOG[Xid.NVLINK].category is XidCategory.INTERCONNECT
+        assert XID_CATALOG[Xid.XID_136].category is XidCategory.UNKNOWN
+
+    def test_gsp_requires_node_reboot(self):
+        # Figure 1: GSP errors required draining + full node reboot.
+        assert XID_CATALOG[Xid.GSP].recovery is RecoveryAction.NODE_REBOOT
+        assert XID_CATALOG[Xid.GSP].renders_gpu_inoperable
+
+    def test_mtbe_comparison_sets_disjoint(self):
+        assert not set(MEMORY_MTBE_XIDS) & set(HARDWARE_MTBE_XIDS)
+
+    def test_uncontained_not_in_memory_comparison(self):
+        # Section 4.2 (iii): uncontained errors excluded from the 30x ratio.
+        assert Xid.UNCONTAINED not in MEMORY_MTBE_XIDS
+
+
+class TestHelpers:
+    def test_xids_in_category_sorted(self):
+        memory = xids_in_category(XidCategory.MEMORY)
+        assert list(memory) == sorted(memory, key=int)
+        assert Xid.RRE in memory
+
+    def test_studied_filter_preserves_order(self):
+        assert studied([95, 13, 31]) == (Xid.UNCONTAINED, Xid.MMU)

@@ -1,0 +1,112 @@
+"""GSP substrate: hang hazard, watchdog, the AWS mitigation trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.gsp.driver import DriverConfig, GpuDriver, RpcResult
+from repro.gsp.processor import GspProcessor, GspState, RpcRequest
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGspProcessor:
+    def test_healthy_service(self, rng):
+        gsp = GspProcessor(base_hang_prob=0.0)
+        gsp.submit(RpcRequest("GSP_RM_CONTROL", 0.0))
+        completion = gsp.service_one(0.0, rng)
+        assert completion is not None and completion > 0.0
+        assert gsp.rpcs_served == 1
+
+    def test_hang_hazard_grows_with_load(self):
+        gsp = GspProcessor(base_hang_prob=1e-4, load_hang_factor=0.5)
+        idle = gsp.hang_probability()
+        for i in range(20):
+            gsp.submit(RpcRequest("GSP_RM_ALLOC", 0.0))
+        assert gsp.hang_probability() > idle * 5
+
+    def test_hung_gsp_answers_nothing(self, rng):
+        gsp = GspProcessor(base_hang_prob=1.0)
+        gsp.submit(RpcRequest("GSP_RM_CONTROL", 0.0))
+        assert gsp.service_one(0.0, rng) is None
+        assert gsp.state is GspState.HUNG
+        gsp.submit(RpcRequest("GSP_RM_CONTROL", 1.0))
+        assert gsp.service_one(1.0, rng) is None  # still hung
+
+    def test_reset_recovers(self, rng):
+        gsp = GspProcessor(base_hang_prob=1.0)
+        gsp.submit(RpcRequest("x", 0.0))
+        gsp.service_one(0.0, rng)
+        gsp.reset()
+        assert gsp.is_responsive()
+        assert gsp.queue_depth == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GspProcessor(base_hang_prob=2.0)
+        with pytest.raises(ValueError):
+            GspProcessor(load_hang_factor=-1.0)
+
+
+class TestGpuDriver:
+    def test_timeout_logs_and_disables_gpu(self, rng):
+        driver = GpuDriver(
+            DriverConfig(gsp_enabled=True), GspProcessor(base_hang_prob=1.0)
+        )
+        assert driver.control_call(rng) is RpcResult.TIMEOUT
+        assert not driver.gpu_operable
+        assert driver.stats.timeouts == 1
+        # Subsequent calls hit a lost GPU until a reset.
+        assert driver.control_call(rng) is RpcResult.GPU_LOST
+        driver.reset_gpu()
+        assert driver.gpu_operable
+
+    def test_watchdog_burns_six_seconds(self, rng):
+        driver = GpuDriver(
+            DriverConfig(gsp_enabled=True, watchdog_seconds=6.0),
+            GspProcessor(base_hang_prob=1.0),
+        )
+        driver.control_call(rng)
+        assert driver.stats.unavailable_seconds == pytest.approx(6.0)
+
+    def test_disabled_gsp_never_times_out(self, rng):
+        driver = GpuDriver(DriverConfig(gsp_enabled=False))
+        stats = driver.run_workload(2_000, rng, burst_depth=8)
+        assert stats.timeouts == 0
+        assert stats.calls == 2_000
+
+    def test_disabled_gsp_costs_host_cpu(self, rng):
+        config = DriverConfig(gsp_enabled=False, host_cpu_cost=0.01)
+        driver = GpuDriver(config)
+        driver.run_workload(1_000, rng)
+        on_driver = GpuDriver(
+            DriverConfig(gsp_enabled=True), GspProcessor(base_hang_prob=0.0)
+        )
+        on_driver.run_workload(1_000, rng)
+        # The paper/AWS trade-off: disabling GSP multiplies host CPU cost.
+        assert driver.stats.host_cpu_seconds > 10 * on_driver.stats.host_cpu_seconds
+
+    def test_demanding_workloads_raise_timeout_rate(self):
+        def rate(burst):
+            driver = GpuDriver(
+                DriverConfig(gsp_enabled=True),
+                GspProcessor(base_hang_prob=3e-5, load_hang_factor=0.5),
+            )
+            stats = driver.run_workload(15_000, np.random.default_rng(1),
+                                        burst_depth=burst)
+            return stats.timeouts
+
+        assert rate(12) > rate(0)
+
+    def test_spontaneity(self, rng):
+        # Hangs arrive with no warning: a long healthy streak then a
+        # timeout — the "appeared in isolation" property.
+        driver = GpuDriver(
+            DriverConfig(gsp_enabled=True),
+            GspProcessor(base_hang_prob=5e-4),
+        )
+        stats = driver.run_workload(10_000, rng)
+        assert stats.timeouts >= 1
+        assert stats.calls - stats.timeouts - stats.gpu_lost_calls > 5_000

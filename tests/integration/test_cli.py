@@ -1,0 +1,55 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_synthesize_then_study(self, tmp_path, capsys):
+        out_dir = tmp_path / "data"
+        assert main(["synthesize", str(out_dir), "--scale", "0.004", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "slurm.jsonl" in captured.out
+        assert (out_dir / "slurm.jsonl").exists()
+        assert any((out_dir / "logs").iterdir())
+
+    def test_study_in_memory(self, capsys):
+        assert main(["study", "--scale", "0.004", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 5" in out
+        assert "Section 5.5" in out
+
+    def test_overprovision(self, capsys):
+        assert main(["overprovision", "--nodes", "200", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Overprovision" in out
+
+    def test_figures(self, tmp_path, capsys):
+        assert main(["figures", "--scale", "0.004", "--seed", "3",
+                     "--output", str(tmp_path / "figs")]) == 0
+        svgs = list((tmp_path / "figs").glob("*.svg"))
+        assert len(svgs) >= 5
+
+    def test_monitor(self, tmp_path, capsys):
+        out_dir = tmp_path / "data"
+        main(["synthesize", str(out_dir), "--scale", "0.004", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["monitor", str(out_dir / "logs"), "--alarm-minutes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "stream complete" in out
+        assert "ALARM" in out  # the offender GPU trips the watchdog
+
+    def test_experiment_listing(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "sec5.4" in out
+
+    def test_experiment_run(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "0.004", "--seed", "3"]) == 0
+        assert "GSP" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

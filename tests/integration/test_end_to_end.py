@@ -1,0 +1,117 @@
+"""End-to-end calibration recovery.
+
+The central scientific claim of the reproduction: the analysis pipeline,
+seeing only rendered syslog text and the Slurm database, recovers the
+statistics the fault substrate was calibrated to — which are the paper's
+published numbers.  Tolerances reflect the shared dataset's small scale
+(0.02 of the full window); exact full-scale comparisons live in
+EXPERIMENTS.md / the benchmark harness.
+"""
+
+import pytest
+
+from repro.faults.calibration import AMPERE_CALIBRATION
+from repro.faults.xid import Xid
+from tests.conftest import SCALE
+
+
+class TestTable1Recovery:
+    def test_counts_per_code(self, dataset, study):
+        measured = study.error_statistics().counts()
+        targets = AMPERE_CALIBRATION.scaled_counts(SCALE)
+        for xid, target in targets.items():
+            if target < 30:
+                continue
+            assert measured.get(int(xid), 0) == pytest.approx(target, rel=0.15), xid
+
+    def test_exact_event_recovery_against_ground_truth(self, dataset, study):
+        # The pipeline must recover the generated studied-event count
+        # *exactly*: the renderer guarantees bursts coalesce back into
+        # single errors and the injector guarantees event separation.
+        truth = {
+            xid: count
+            for xid, count in dataset.trace.counts_by_xid().items()
+            if xid not in (Xid.GENERAL_SW, Xid.RESET_CHANNEL)
+        }
+        measured = study.error_statistics().counts()
+        for xid, count in truth.items():
+            assert measured.get(int(xid), 0) == count, xid
+
+    def test_overall_mtbe_near_67_node_hours(self, study):
+        mtbe = study.error_statistics().overall_mtbe_node_hours()
+        assert mtbe == pytest.approx(67.0, rel=0.12)
+
+    def test_memory_30x_more_reliable(self, study):
+        assert study.error_statistics().memory_vs_hardware_ratio() > 10
+
+    def test_persistence_p50s(self, study):
+        stats = study.error_statistics()
+        mmu = stats.persistence_summary(int(Xid.MMU))
+        assert mmu.p50 == pytest.approx(2.80, abs=0.4)
+        unc = stats.persistence_summary(int(Xid.UNCONTAINED))
+        assert unc.p50 == pytest.approx(75.22, rel=0.25)
+        # The paradox: mean far above P50 for uncontained errors.
+        assert unc.mean > 4 * unc.p50
+
+
+class TestPropagationRecovery:
+    def test_figure5_paths(self, study):
+        paths = study.propagation().hardware_paths()
+        assert paths["p_gsp_self_or_terminal"] == pytest.approx(0.99, abs=0.03)
+        assert paths["p_gsp_isolated"] == pytest.approx(0.99, abs=0.03)
+
+    def test_figure6_nvlink(self, study):
+        paths = study.propagation().hardware_paths()
+        involvement = study.propagation().nvlink_involvement()
+        assert paths["p_nvlink_self"] == pytest.approx(0.66, abs=0.15)
+        # ~15 NVLink incidents at this scale: involvement is very noisy, so
+        # only the qualitative claim (most errors stay on one GPU's incident
+        # cluster) is asserted; the quantitative check runs at bench scale.
+        assert involvement.single_gpu_fraction > 0.5
+
+    def test_uncontained_errors_have_no_chained_structure(self, study):
+        graph = study.propagation().analyze()
+        # Figure 7: uncontained errors appear without succeeding errors.
+        assert graph.probability(Xid.UNCONTAINED, Xid.UNCONTAINED) < 0.12
+
+
+class TestJobImpactRecovery:
+    def test_success_rate(self, study):
+        assert study.job_impact().success_rate() == pytest.approx(0.7468, abs=0.01)
+
+    def test_mmu_failure_probability(self, study):
+        rows = {r.xid: r for r in study.job_impact().table2()}
+        assert rows[int(Xid.MMU)].failure_probability == pytest.approx(0.5867, abs=0.12)
+
+    def test_gpu_failed_total_scales(self, study):
+        total = study.job_impact().total_gpu_failed()
+        assert total == pytest.approx(4_322 * SCALE, rel=0.4)
+
+    def test_table3_shares(self, study):
+        rows = {r.label: r for r in study.job_impact().table3()}
+        assert rows["1"].share == pytest.approx(0.6986, abs=0.02)
+        assert rows["2-4"].share == pytest.approx(0.2731, abs=0.02)
+
+    def test_utilization_in_delta_range(self, dataset):
+        # Section 2.4: A40 ~40%, A100 ~51% mean utilization.  The shared
+        # dataset's short window under-counts jobs running past its edge,
+        # so the lower bound is generous here (the full-scale comparison
+        # lives in EXPERIMENTS.md).
+        assert 0.20 < dataset.schedule.utilization() < 0.65
+
+
+class TestAvailabilityRecovery:
+    def test_availability_two_nines(self, study):
+        report = study.availability().report()
+        assert report.availability == pytest.approx(0.995, abs=0.004)
+
+    def test_downtime_approximately_7_minutes_per_day(self, study):
+        report = study.availability().report()
+        assert report.downtime_minutes_per_day == pytest.approx(7.0, abs=3.0)
+
+
+class TestCounterfactualRecovery:
+    def test_3x_improvement_story(self, study):
+        report = study.counterfactual().analyze()
+        assert report.offender_improvement == pytest.approx(3.0, abs=1.1)
+        assert report.improved_availability == pytest.approx(0.9987, abs=0.0015)

@@ -1,0 +1,76 @@
+"""Fault-injection campaign API."""
+
+import pytest
+
+from repro.memory.campaign import CampaignConfig, run_campaign
+from repro.memory.device import GpuMemory, MemoryEventKind
+
+
+@pytest.fixture(scope="module")
+def a100_result():
+    from repro.memory.remap import RowRemapper
+
+    # Healthy banks need enough spares (and device budget) to last the
+    # whole campaign or the nominal 50% remap-success rate drifts down as
+    # they also run dry.
+    memory = GpuMemory(supports_containment=True, containment_success_prob=0.43)
+    memory.remapper = RowRemapper(spares_per_bank=64, max_total_remaps=100_000)
+    return run_campaign(memory, CampaignConfig(n_faults=800, seed=5))
+
+
+class TestCampaign:
+    def test_outcome_accounting(self, a100_result):
+        dbe = a100_result.count(MemoryEventKind.DBE)
+        rre = a100_result.count(MemoryEventKind.RRE)
+        rrf = a100_result.count(MemoryEventKind.RRF)
+        assert dbe == rre + rrf  # every DBE resolved one way or the other
+        assert a100_result.sbe_corrected > 300
+
+    def test_rates_match_figure7(self, a100_result):
+        assert a100_result.remap_success_rate == pytest.approx(0.5, abs=0.08)
+        assert a100_result.containment_success_rate == pytest.approx(0.43, abs=0.1)
+        assert a100_result.dbe_alleviation_rate == pytest.approx(0.71, abs=0.1)
+
+    def test_resets_track_uncontained(self, a100_result):
+        assert a100_result.gpu_resets == a100_result.count(
+            MemoryEventKind.UNCONTAINED
+        )
+
+    def test_pages_offlined_on_containment(self, a100_result):
+        assert a100_result.pages_offlined == a100_result.count(
+            MemoryEventKind.CONTAINED
+        )
+
+    def test_a40_resets_on_every_rrf(self):
+        result = run_campaign(
+            GpuMemory(supports_containment=False),
+            CampaignConfig(n_faults=400, seed=6),
+        )
+        assert result.gpu_resets == result.count(MemoryEventKind.RRF)
+        assert result.containment_success_rate == 0.0
+
+    def test_healthy_banks_never_rrf(self):
+        result = run_campaign(
+            GpuMemory(),
+            CampaignConfig(n_faults=200, exhausted_bank_fraction=0.0, seed=7),
+        )
+        assert result.count(MemoryEventKind.RRF) == 0
+        assert result.remap_success_rate == 1.0
+
+    def test_pure_sbe_campaign_logs_nothing(self):
+        result = run_campaign(
+            GpuMemory(), CampaignConfig(n_faults=200, dbe_fraction=0.0, seed=8)
+        )
+        assert result.events == []
+        assert result.sbe_corrected == 200
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_faults=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(dbe_fraction=1.5)
+
+    def test_deterministic(self):
+        a = run_campaign(GpuMemory(), CampaignConfig(n_faults=100, seed=9))
+        b = run_campaign(GpuMemory(), CampaignConfig(n_faults=100, seed=9))
+        assert [e.kind for e in a.events] == [e.kind for e in b.events]

@@ -1,0 +1,152 @@
+"""GPU memory model: remapping, containment, Figure-3 event sequences."""
+
+import numpy as np
+import pytest
+
+from repro.memory.containment import ContainmentOutcome, ContainmentUnit
+from repro.memory.device import GpuMemory, MemoryEventKind
+from repro.memory.remap import RemapOutcome, RowRemapper
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRowRemapper:
+    def test_remap_succeeds_until_spares_exhausted(self):
+        remapper = RowRemapper(n_banks=2, spares_per_bank=2)
+        assert remapper.request_remap((0, 1)) is RemapOutcome.REMAPPED
+        assert remapper.request_remap((0, 2)) is RemapOutcome.REMAPPED
+        assert remapper.request_remap((0, 3)) is RemapOutcome.FAILED
+        # The other bank still has spares.
+        assert remapper.request_remap((1, 1)) is RemapOutcome.REMAPPED
+
+    def test_duplicate_remap_is_idempotent(self):
+        remapper = RowRemapper()
+        remapper.request_remap((0, 1))
+        assert remapper.request_remap((0, 1)) is RemapOutcome.ALREADY_REMAPPED
+        assert remapper.total_remapped == 1
+
+    def test_device_wide_budget(self):
+        remapper = RowRemapper(n_banks=4, spares_per_bank=10, max_total_remaps=3)
+        for row in range(3):
+            assert remapper.request_remap((row % 4, row)) is RemapOutcome.REMAPPED
+        assert remapper.request_remap((3, 99)) is RemapOutcome.FAILED
+
+    def test_reset_clears_pending(self):
+        remapper = RowRemapper()
+        remapper.request_remap((0, 1))
+        assert remapper.pending_reset
+        remapper.acknowledge_reset()
+        assert not remapper.pending_reset
+
+    def test_bank_bounds(self):
+        with pytest.raises(ValueError):
+            RowRemapper(n_banks=2).request_remap((2, 0))
+
+
+class TestContainmentUnit:
+    def test_unsupported_goes_straight_to_error_state(self, rng):
+        unit = ContainmentUnit(supported=False)
+        result = unit.contain(1, rng)
+        assert result.outcome is ContainmentOutcome.UNSUPPORTED
+        assert unit.in_error_state
+
+    def test_success_offlines_page(self, rng):
+        unit = ContainmentUnit(success_prob=1.0)
+        result = unit.contain(7, rng, owning_pid=99)
+        assert result.outcome is ContainmentOutcome.CONTAINED
+        assert result.page_offlined and unit.is_offlined(7)
+        assert result.killed_pid == 99
+        assert not unit.in_error_state
+
+    def test_failure_sets_error_state(self, rng):
+        unit = ContainmentUnit(success_prob=0.0)
+        assert unit.contain(7, rng).outcome is ContainmentOutcome.UNCONTAINED
+        assert unit.in_error_state
+        unit.reset()
+        assert not unit.in_error_state
+
+    def test_offline_budget(self, rng):
+        unit = ContainmentUnit(success_prob=1.0, max_offlined_pages=1)
+        unit.contain(1, rng)
+        result = unit.contain(2, rng)
+        assert result.outcome is ContainmentOutcome.CONTAINED
+        assert not result.page_offlined  # budget exhausted, still contained
+
+
+class TestGpuMemoryFlow:
+    def test_clean_read(self, rng):
+        memory = GpuMemory()
+        memory.write((0, 1, 0), 0xABCD)
+        data, events = memory.read((0, 1, 0), rng)
+        assert data == 0xABCD and events == []
+
+    def test_sbe_corrected_silently(self, rng):
+        memory = GpuMemory()
+        memory.write((0, 1, 0), 0xABCD)
+        memory.inject_bit_flips((0, 1, 0), [9])
+        data, events = memory.read((0, 1, 0), rng)
+        assert data == 0xABCD
+        assert events == []  # SBEs are never logged (paper Section 2.2)
+        assert memory.sbe_corrected == 1
+
+    def test_two_sbes_same_address_trigger_remap_without_dbe(self, rng):
+        # Table 1's RRE definition: 1 DBE *or* 2 SBEs at the same address.
+        memory = GpuMemory()
+        memory.write((0, 1, 0), 5)
+        for _ in range(2):
+            memory.inject_bit_flips((0, 1, 0), [3])
+            _, events = memory.read((0, 1, 0), rng)
+        kinds = [e.kind for e in events]
+        assert kinds == [MemoryEventKind.RRE]
+
+    def test_dbe_remap_success_sequence(self, rng):
+        memory = GpuMemory()
+        memory.write((0, 1, 0), 5)
+        memory.inject_bit_flips((0, 1, 0), [3, 44])
+        data, events = memory.read((0, 1, 0), rng)
+        assert data is None  # uncorrectable: consumer sees poison
+        assert [e.kind for e in events] == [MemoryEventKind.DBE, MemoryEventKind.RRE]
+        assert memory.operable
+
+    def test_rrf_then_containment_sequence(self, rng):
+        memory = GpuMemory(containment_success_prob=1.0)
+        memory.remapper.exhaust_bank(0)
+        memory.write((0, 1, 0), 5)
+        memory.inject_bit_flips((0, 1, 0), [3, 44])
+        _, events = memory.read((0, 1, 0), rng, owning_pid=42)
+        assert [e.kind for e in events] == [
+            MemoryEventKind.DBE, MemoryEventKind.RRF, MemoryEventKind.CONTAINED
+        ]
+        assert memory.operable  # contained: GPU stays usable
+
+    def test_rrf_then_uncontained_leaves_gpu_inoperable(self, rng):
+        memory = GpuMemory(containment_success_prob=0.0)
+        memory.remapper.exhaust_bank(0)
+        memory.write((0, 1, 0), 5)
+        memory.inject_bit_flips((0, 1, 0), [3, 44])
+        _, events = memory.read((0, 1, 0), rng)
+        assert events[-1].kind is MemoryEventKind.UNCONTAINED
+        assert not memory.operable
+        memory.reset()
+        assert memory.operable
+
+    def test_a40_has_no_containment_events(self, rng):
+        memory = GpuMemory(supports_containment=False)
+        memory.remapper.exhaust_bank(0)
+        memory.write((0, 1, 0), 5)
+        memory.inject_bit_flips((0, 1, 0), [3, 44])
+        _, events = memory.read((0, 1, 0), rng)
+        kinds = {e.kind for e in events}
+        assert MemoryEventKind.CONTAINED not in kinds
+        assert MemoryEventKind.UNCONTAINED not in kinds
+        assert not memory.operable  # straight to the error state
+
+    def test_event_xids_match_catalog(self, rng):
+        assert MemoryEventKind.DBE.value == 48
+        assert MemoryEventKind.RRE.value == 63
+        assert MemoryEventKind.RRF.value == 64
+        assert MemoryEventKind.CONTAINED.value == 94
+        assert MemoryEventKind.UNCONTAINED.value == 95

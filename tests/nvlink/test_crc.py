@@ -1,0 +1,72 @@
+"""CRC engine: detection guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.nvlink.crc import CRC24, CRC32, CrcSpec, crc_bytes
+
+
+class TestCrcBasics:
+    def test_deterministic(self):
+        assert crc_bytes(b"hello") == crc_bytes(b"hello")
+
+    def test_width_bound(self):
+        assert 0 <= crc_bytes(b"hello", CRC24) < (1 << 24)
+        assert 0 <= crc_bytes(b"hello", CRC32) < (1 << 32)
+
+    def test_different_data_different_crc(self):
+        assert crc_bytes(b"hello") != crc_bytes(b"hellp")
+
+    def test_specs_differ(self):
+        assert crc_bytes(b"x", CRC24) != crc_bytes(b"x", CRC32)
+
+
+class TestDetection:
+    def test_every_single_bit_flip_detected(self):
+        data = bytearray(b"NVLink flit payload under test!!")
+        reference = crc_bytes(bytes(data))
+        for position in range(len(data) * 8):
+            corrupted = bytearray(data)
+            corrupted[position // 8] ^= 1 << (position % 8)
+            assert crc_bytes(bytes(corrupted)) != reference, position
+
+    def test_all_double_flips_in_sample_detected(self):
+        data = bytes(range(64))
+        reference = crc_bytes(data)
+        rng = np.random.default_rng(0)
+        n_bits = len(data) * 8
+        for _ in range(500):
+            a, b = rng.choice(n_bits, size=2, replace=False)
+            corrupted = bytearray(data)
+            for position in (int(a), int(b)):
+                corrupted[position // 8] ^= 1 << (position % 8)
+            assert crc_bytes(bytes(corrupted)) != reference
+
+    def test_burst_errors_within_width_detected(self):
+        # Any contiguous burst shorter than the CRC width is always caught.
+        data = bytes(range(64))
+        reference = crc_bytes(data, CRC24)
+        for start in range(0, 64 * 8 - 24, 17):
+            corrupted = bytearray(data)
+            for position in range(start, start + 23):
+                corrupted[position // 8] ^= 1 << (position % 8)
+            assert crc_bytes(bytes(corrupted), CRC24) != reference
+
+    def test_random_corruption_escape_rate_is_tiny(self):
+        # Heavy random corruption escapes with probability ~2^-24.
+        data = bytes(range(64))
+        reference = crc_bytes(data, CRC24)
+        rng = np.random.default_rng(1)
+        escapes = 0
+        for _ in range(3_000):
+            corrupted = bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+            if corrupted != data and crc_bytes(corrupted, CRC24) == reference:
+                escapes += 1
+        assert escapes <= 1
+
+
+class TestCustomSpec:
+    def test_mask(self):
+        spec = CrcSpec("tiny", width=8, polynomial=0x07)
+        assert spec.mask == 0xFF
+        assert 0 <= crc_bytes(b"abc", spec) < 256

@@ -1,0 +1,84 @@
+"""Topology-aware fabrics and collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeKind
+from repro.cluster.topology import nvlink_topology_for
+from repro.nvlink.fabric import LinkFabric
+from repro.nvlink.link import LinkConfig
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRingOrder:
+    def test_all_to_all_has_ring(self):
+        fabric = LinkFabric(nvlink_topology_for(NodeKind.A100_X4))
+        order = fabric.ring_order()
+        assert order is not None and len(order) == 4
+
+    def test_nvswitch_eight_way_has_ring(self):
+        fabric = LinkFabric(nvlink_topology_for(NodeKind.A100_X8))
+        order = fabric.ring_order()
+        assert order is not None and len(order) == 8
+
+    def test_a40_pairs_cannot_ring(self):
+        fabric = LinkFabric(nvlink_topology_for(NodeKind.A40_X4))
+        assert fabric.ring_order() is None
+
+    def test_ring_edges_exist(self):
+        fabric = LinkFabric(nvlink_topology_for(NodeKind.A100_X4))
+        order = fabric.ring_order()
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert fabric.channel(a, b) is not None
+
+
+class TestRingAllreduce:
+    def test_a100_collective_stays_on_nvlink(self, rng):
+        fabric = LinkFabric(
+            nvlink_topology_for(NodeKind.A100_X4),
+            LinkConfig(bit_error_rate=0.0),
+        )
+        result = fabric.ring_allreduce(rng)
+        assert result.completed
+        assert result.all_nvlink
+        assert result.steps == 6  # 2*(4-1)
+
+    def test_a40_collective_needs_pcie_fallback(self, rng):
+        fabric = LinkFabric(
+            nvlink_topology_for(NodeKind.A40_X4),
+            LinkConfig(bit_error_rate=0.0),
+        )
+        result = fabric.ring_allreduce(rng)
+        assert result.completed
+        assert result.pcie_fallback_hops > 0  # cross-pair hops left NVLink
+
+    def test_noisy_link_errors_absorbed(self, rng):
+        fabric = LinkFabric(
+            nvlink_topology_for(NodeKind.A100_X4),
+            LinkConfig(bit_error_rate=2e-4, max_replays=64),
+        )
+        result = fabric.ring_allreduce(rng, chunks=16)
+        assert result.completed
+        assert result.crc_errors > 0
+
+    def test_dead_link_aborts_collective(self, rng):
+        fabric = LinkFabric(
+            nvlink_topology_for(NodeKind.A100_X4),
+            LinkConfig(bit_error_rate=0.3, max_replays=1),
+        )
+        result = fabric.ring_allreduce(rng)
+        assert not result.completed
+        assert result.fatal_link is not None
+        # The failed edge really is part of the topology.
+        assert fabric.channel(*result.fatal_link) is not None
+
+    def test_two_gpu_minimum(self, rng):
+        from repro.cluster.topology import NVLinkTopology
+
+        lonely = NVLinkTopology(NodeKind.A40_X4, frozenset())
+        with pytest.raises(ValueError):
+            LinkFabric(lonely).ring_allreduce(rng)

@@ -1,0 +1,124 @@
+"""PMU/SPI substrate: bus retries, the DVFS loop, the PMU->MMU cascade."""
+
+import numpy as np
+import pytest
+
+from repro.pmu.dvfs import DVFS_TABLE, DvfsController, OperatingPoint
+from repro.pmu.spi import SpiBus, SpiConfig, SpiResult
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSpiBus:
+    def test_clean_bus_round_trip(self, rng):
+        bus = SpiBus(SpiConfig(corruption_prob=0.0))
+        assert bus.write(0x10, 42, rng) is SpiResult.OK
+        status, value = bus.read(0x10, rng)
+        assert status is SpiResult.OK and value == 42
+
+    def test_retries_absorb_occasional_corruption(self, rng):
+        bus = SpiBus(SpiConfig(corruption_prob=0.2, max_retries=8))
+        failures = sum(
+            bus.read(0x10, rng)[0] is SpiResult.READ_FAILURE for _ in range(500)
+        )
+        assert failures == 0
+        assert bus.corruptions > 0
+
+    def test_dead_bus_fails_reads(self, rng):
+        bus = SpiBus(SpiConfig(corruption_prob=1.0, max_retries=2))
+        status, value = bus.read(0x10, rng)
+        assert status is SpiResult.READ_FAILURE and value is None
+        assert bus.read_failures == 1
+        assert bus.transactions == 3  # initial try + 2 retries
+
+    def test_failure_rate_is_corruption_to_the_retries(self, rng):
+        config = SpiConfig(corruption_prob=0.3, max_retries=1)
+        bus = SpiBus(config)
+        n = 30_000
+        failures = sum(
+            bus.read(0x10, rng)[0] is SpiResult.READ_FAILURE for _ in range(n)
+        )
+        assert failures / n == pytest.approx(0.3**2, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpiConfig(corruption_prob=1.5)
+        with pytest.raises(ValueError):
+            SpiConfig(max_retries=-1)
+
+
+class TestOperatingPoints:
+    def test_table_monotone(self):
+        frequencies = [p.frequency_mhz for p in DVFS_TABLE]
+        voltages = [p.voltage_mv for p in DVFS_TABLE]
+        assert frequencies == sorted(frequencies)
+        assert voltages == sorted(voltages)
+
+    def test_mismatch_zero_on_self(self):
+        point = DVFS_TABLE[0]
+        assert point.mismatch(point) == 0.0
+
+    def test_demanded_point_tracks_load(self):
+        assert DvfsController.demanded_point(0.0) == DVFS_TABLE[0]
+        assert DvfsController.demanded_point(0.99) == DVFS_TABLE[-1]
+        with pytest.raises(ValueError):
+            DvfsController.demanded_point(1.5)
+
+
+class TestCascade:
+    def test_healthy_loop_produces_no_xids(self, rng):
+        controller = DvfsController(SpiBus(SpiConfig(corruption_prob=0.0)))
+        for load in (0.1, 0.5, 0.9, 0.2):
+            assert controller.tick(load, rng) == []
+        assert controller.report.mmu_faults == 0
+
+    def test_spi_failure_logs_122_then_stale_window(self, rng):
+        controller = DvfsController(
+            SpiBus(SpiConfig(corruption_prob=1.0, max_retries=0)),
+            stale_ticks_after_failure=3,
+        )
+        xids = controller.tick(0.9, rng)
+        assert 122 in xids
+        assert controller.report.spi_failures == 1
+        # The following ticks are stale: no new SPI reads are attempted.
+        transactions_before = controller.bus.transactions
+        controller.tick(0.9, rng)
+        assert controller.bus.transactions == transactions_before
+
+    def test_pmu_to_mmu_edge_near_paper(self):
+        """The derived cascade probability lands on the measured 0.82."""
+        controller = DvfsController(SpiBus(SpiConfig(corruption_prob=0.08)))
+        report = controller.run(250_000, np.random.default_rng(1))
+        assert report.spi_failures > 80
+        assert report.p_mmu_given_spi_failure == pytest.approx(0.82, abs=0.08)
+
+    def test_no_spi_failures_nan_probability(self, rng):
+        controller = DvfsController(SpiBus(SpiConfig(corruption_prob=0.0)))
+        report = controller.run(100, rng)
+        assert np.isnan(report.p_mmu_given_spi_failure)
+
+    def test_mmu_faults_only_under_mismatch(self):
+        # Constant load: the programmed point always matches the demanded
+        # one, so even a flaky bus causes no MMU faults *while healthy*.
+        controller = DvfsController(
+            SpiBus(SpiConfig(corruption_prob=0.0)),
+        )
+        report = controller.run(
+            5_000, np.random.default_rng(2),
+            load_profile=np.full(100, 0.5),
+        )
+        assert report.mmu_faults == 0
+
+    def test_stale_window_length_raises_cascade_probability(self):
+        def probability(stale):
+            controller = DvfsController(
+                SpiBus(SpiConfig(corruption_prob=0.08)),
+                stale_ticks_after_failure=stale,
+            )
+            report = controller.run(150_000, np.random.default_rng(3))
+            return report.p_mmu_given_spi_failure
+
+        assert probability(6) > probability(1)

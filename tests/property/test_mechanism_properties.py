@@ -1,0 +1,98 @@
+"""Property-based tests for the mechanistic substrates (SECDED, CRC, remap)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.memory.remap import RemapOutcome, RowRemapper
+from repro.memory.secded import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeStatus,
+    decode,
+    encode,
+    flip_bits,
+)
+from repro.nvlink.crc import CRC24, crc_bytes
+
+words = st.integers(min_value=0, max_value=(1 << DATA_BITS) - 1)
+positions = st.integers(min_value=0, max_value=CODEWORD_BITS - 1)
+
+
+@given(data=words)
+@settings(max_examples=300, deadline=None)
+def test_secded_round_trip(data):
+    result = decode(encode(data))
+    assert result.status is DecodeStatus.OK
+    assert result.data == data
+
+
+@given(data=words, position=positions)
+@settings(max_examples=300, deadline=None)
+def test_secded_corrects_any_single_flip(data, position):
+    result = decode(flip_bits(encode(data), [position]))
+    assert result.status is DecodeStatus.CORRECTED_SBE
+    assert result.data == data
+
+
+@given(data=words, a=positions, b=positions)
+@settings(max_examples=300, deadline=None)
+def test_secded_detects_any_double_flip(data, a, b):
+    assume(a != b)
+    result = decode(flip_bits(encode(data), [a, b]))
+    assert result.status is DecodeStatus.DETECTED_DBE
+
+
+@given(data=words, position=positions)
+@settings(max_examples=200, deadline=None)
+def test_flip_is_involutive(data, position):
+    codeword = encode(data)
+    assert flip_bits(flip_bits(codeword, [position]), [position]) == codeword
+
+
+@given(payload=st.binary(min_size=1, max_size=128), position=st.integers(min_value=0))
+@settings(max_examples=300, deadline=None)
+def test_crc_catches_any_single_bit_flip(payload, position):
+    position %= len(payload) * 8
+    corrupted = bytearray(payload)
+    corrupted[position // 8] ^= 1 << (position % 8)
+    assert crc_bytes(bytes(corrupted), CRC24) != crc_bytes(payload, CRC24)
+
+
+@given(payload=st.binary(min_size=1, max_size=128))
+@settings(max_examples=200, deadline=None)
+def test_crc_deterministic(payload):
+    assert crc_bytes(payload) == crc_bytes(payload)
+
+
+@st.composite
+def remap_requests(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    return [
+        (draw(st.integers(min_value=0, max_value=3)),
+         draw(st.integers(min_value=0, max_value=30)))
+        for _ in range(n)
+    ]
+
+
+@given(requests=remap_requests())
+@settings(max_examples=200, deadline=None)
+def test_remapper_accounting_invariants(requests):
+    remapper = RowRemapper(n_banks=4, spares_per_bank=3, max_total_remaps=10)
+    successes = 0
+    for address in requests:
+        outcome = remapper.request_remap(address)
+        if outcome is RemapOutcome.REMAPPED:
+            successes += 1
+        # Spares never go negative; totals never exceed the budget.
+        for bank in range(4):
+            assert 0 <= remapper.spares_left(bank) <= 3
+        assert remapper.total_remapped <= 10
+    assert remapper.total_remapped == successes
+    # Re-requesting every address is a no-op.
+    before = remapper.total_remapped
+    for address in requests:
+        assert remapper.request_remap(address) in (
+            RemapOutcome.ALREADY_REMAPPED, RemapOutcome.FAILED
+        )
+    assert remapper.total_remapped == before

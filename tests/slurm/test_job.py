@@ -1,0 +1,59 @@
+"""Job record semantics."""
+
+import pytest
+
+from repro.slurm.job import ExitCode, JobRecord, JobState
+
+
+def _job(**kw):
+    defaults = dict(
+        job_id=1,
+        name="train_resnet50",
+        user="u001",
+        submit_time=0.0,
+        start_time=100.0,
+        end_time=3_700.0,
+        n_gpus=4,
+        gpus=(("gpua001", "0000:07:00"), ("gpua001", "0000:46:00"),
+              ("gpua002", "0000:07:00"), ("gpua002", "0000:46:00")),
+        partition="a40",
+        is_ml=True,
+    )
+    defaults.update(kw)
+    return JobRecord(**defaults)
+
+
+class TestJobRecord:
+    def test_elapsed(self):
+        assert _job().elapsed == 3_600.0
+        assert _job().elapsed_minutes == 60.0
+
+    def test_nodes_deduplicated(self):
+        assert _job().nodes == ("gpua001", "gpua002")
+
+    def test_gpu_and_node_hours(self):
+        job = _job()
+        assert job.gpu_hours == pytest.approx(4.0)
+        assert job.node_hours == pytest.approx(2.0)
+
+    def test_succeeded_requires_completed_and_zero_exit(self):
+        assert _job().succeeded
+        assert not _job(exit_code=1).succeeded
+        assert not _job(state=JobState.TIMEOUT).succeeded
+
+    def test_failed_at_truncates_and_records_truth(self):
+        failed = _job().failed_at(1_000.0, xid=119, exit_code=int(ExitCode.GENERIC),
+                                  state=JobState.NODE_FAIL)
+        assert failed.end_time == 1_000.0
+        assert failed.truth_failed_by_xid == 119
+        assert failed.state is JobState.NODE_FAIL
+        assert not failed.succeeded
+
+    def test_failed_at_clamps_to_job_lifetime(self):
+        early = _job().failed_at(10.0, 31, 139, JobState.FAILED)
+        assert early.end_time == 100.0  # not before start
+        late = _job().failed_at(10_000.0, 31, 139, JobState.FAILED)
+        assert late.end_time == 3_700.0  # not after natural end
+
+    def test_segfault_exit_code_matches_incident1(self):
+        assert int(ExitCode.SEGFAULT) == 139

@@ -1,0 +1,116 @@
+"""Node lifecycle state machine (the Figure-1 recovery loop)."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.lifecycle import (
+    LifecycleConfig,
+    NodeLifecycle,
+    NodeState,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTransitions:
+    def test_allocate_release_cycle(self):
+        node = NodeLifecycle("gpua001")
+        node.allocate(10.0)
+        assert node.state is NodeState.ALLOCATED
+        node.release(20.0)
+        assert node.state is NodeState.IDLE
+        assert len(node.log) == 2
+
+    def test_illegal_transition_rejected(self):
+        node = NodeLifecycle("gpua001")
+        with pytest.raises(ValueError):
+            node.release(5.0)  # IDLE -> IDLE is not a legal move
+
+    def test_drain_from_allocated(self):
+        node = NodeLifecycle("gpua001")
+        node.allocate(0.0)
+        node.drain(100.0, reason="xid119")
+        assert node.state is NodeState.DRAINING
+        assert node.log[-1].reason == "xid119"
+
+
+class TestRecovery:
+    def test_happy_path(self, rng):
+        config = LifecycleConfig(health_pass_prob=1.0, reboot_hours=0.25,
+                                 health_check_hours=0.05)
+        node = NodeLifecycle("gpua001", config)
+        node.drain(0.0, "xid119")
+        outcome = node.recover(drain_complete_at=3_600.0, rng=rng)
+        assert node.state is NodeState.IDLE
+        assert outcome.drain_hours == pytest.approx(1.0)
+        assert outcome.reboot_hours == pytest.approx(0.25)
+        assert not outcome.replaced
+        assert outcome.total_hours == pytest.approx(1.0 + 0.25 + 0.05)
+
+    def test_figure1_magnitude(self, rng):
+        """A long drain (pending jobs) plus the reboot loop lands in the
+        tens-of-node-hours regime of the Figure-1 incident."""
+        config = LifecycleConfig(health_pass_prob=1.0, reboot_hours=1.5)
+        node = NodeLifecycle("gpub042", config)
+        node.drain(0.0, "xid119 GSP stall")
+        outcome = node.recover(drain_complete_at=21.0 * 3_600.0, rng=rng)
+        assert 22.0 < outcome.total_hours < 24.0
+
+    def test_flaky_health_check_retries_then_replaces(self):
+        config = LifecycleConfig(health_pass_prob=0.0, replacement_hours=24.0)
+        node = NodeLifecycle("gpua001", config)
+        node.drain(0.0, "xid79")
+        outcome = node.recover(0.0, np.random.default_rng(1))
+        assert outcome.replaced
+        assert node.state is NodeState.IDLE
+        assert outcome.total_hours > 24.0
+        states = [t.target for t in node.log]
+        assert states.count(NodeState.REBOOTING) == 3  # 2 tries + post-replacement
+        assert NodeState.FAILED in states
+
+    def test_single_retry_recovers_without_replacement(self):
+        # Fails once, passes on retry.
+        class OneFail:
+            def __init__(self):
+                self.calls = 0
+
+            def random(self):
+                self.calls += 1
+                return 0.99 if self.calls == 1 else 0.0
+
+        config = LifecycleConfig(health_pass_prob=0.5)
+        node = NodeLifecycle("gpua001", config)
+        node.drain(0.0, "x")
+        outcome = node.recover(0.0, OneFail())
+        assert not outcome.replaced
+        assert node.state is NodeState.IDLE
+
+    def test_recover_requires_draining(self, rng):
+        node = NodeLifecycle("gpua001")
+        with pytest.raises(ValueError):
+            node.recover(0.0, rng)
+
+    def test_drain_cannot_finish_before_start(self, rng):
+        node = NodeLifecycle("gpua001")
+        node.drain(1_000.0, "x")
+        with pytest.raises(ValueError):
+            node.recover(500.0, rng)
+
+
+class TestAccounting:
+    def test_time_in_state(self, rng):
+        config = LifecycleConfig(health_pass_prob=1.0)
+        node = NodeLifecycle("gpua001", config)
+        node.allocate(0.0)
+        node.drain(100.0, "x")
+        node.recover(200.0, rng)
+        assert node.time_in_state(NodeState.ALLOCATED, 10_000.0) == pytest.approx(100.0)
+        assert node.time_in_state(NodeState.DRAINING, 10_000.0) == pytest.approx(100.0)
+
+    def test_open_interval_counted(self):
+        node = NodeLifecycle("gpua001")
+        node.allocate(0.0)
+        assert node.time_in_state(NodeState.ALLOCATED, 50.0) == pytest.approx(50.0)

@@ -1,0 +1,170 @@
+"""GPU scheduler: placement invariants, packing, blackouts, occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.job import JobSpec, JobState
+from repro.slurm.scheduler import GpuScheduler, OccupancyIndex, PARTITIONS
+from repro.slurm.workload import WorkloadConfig, WorkloadModel
+
+WINDOW = 40 * 86400.0
+
+
+def _spec(job_id, submit, gpus=1, duration=3600.0, partition="a100"):
+    return JobSpec(
+        job_id=job_id,
+        name="job",
+        user="u001",
+        submit_time=submit,
+        requested_gpus=gpus,
+        duration=duration,
+        partition=partition,
+        is_ml=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def schedule(small_cluster):
+    model = WorkloadModel(WorkloadConfig(scale=0.002, seed=4))
+    specs = model.generate()
+    return GpuScheduler(small_cluster).schedule(specs, 855 * 86400.0 * 0.002)
+
+
+class TestInvariants:
+    def test_no_gpu_double_booked(self, schedule):
+        per_gpu = {}
+        for job in schedule.jobs:
+            for gpu in job.gpus:
+                per_gpu.setdefault(gpu, []).append((job.start_time, job.end_time))
+        for intervals in per_gpu.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_jobs_start_after_submit(self, schedule):
+        assert all(j.start_time >= j.submit_time for j in schedule.jobs)
+
+    def test_requested_partition_respected(self, schedule, small_cluster):
+        pools = {
+            partition: {
+                gpu.key
+                for node in small_cluster.nodes_of_kind(*kinds)
+                for gpu in node.gpus
+            }
+            for partition, kinds in PARTITIONS.items()
+        }
+        for job in schedule.jobs:
+            assert set(job.gpus) <= pools[job.partition]
+
+    def test_natural_state_carried_through(self, schedule):
+        states = {j.state for j in schedule.jobs}
+        assert JobState.COMPLETED in states and JobState.FAILED in states
+
+
+class TestPacking:
+    def test_small_jobs_pack_onto_one_node(self, small_cluster):
+        specs = [_spec(i, submit=i * 10.0, gpus=4) for i in range(20)]
+        schedule = GpuScheduler(small_cluster).schedule(specs, WINDOW)
+        packed = sum(1 for j in schedule.jobs if len(j.nodes) == 1)
+        assert packed / len(schedule.jobs) > 0.8
+
+    def test_large_jobs_fill_whole_nodes(self, small_cluster):
+        # 12 GPUs on 4-way nodes should use ~3 nodes, not 12.
+        specs = [_spec(1, submit=0.0, gpus=12)]
+        schedule = GpuScheduler(small_cluster).schedule(specs, WINDOW)
+        assert len(schedule.jobs[0].nodes) <= 5
+
+
+class TestQueueing:
+    def test_oversubscribed_jobs_wait(self, small_cluster):
+        pool = GpuScheduler(small_cluster).pool_size("a100")
+        specs = [
+            _spec(i, submit=0.0, gpus=pool, duration=7200.0) for i in range(1, 3)
+        ]
+        schedule = GpuScheduler(small_cluster).schedule(specs, WINDOW)
+        starts = sorted(j.start_time for j in schedule.jobs)
+        assert starts[1] >= starts[0] + 7200.0 - 1e-6
+
+    def test_requests_beyond_pool_are_clamped(self, small_cluster):
+        pool = GpuScheduler(small_cluster).pool_size("a100")
+        schedule = GpuScheduler(small_cluster).schedule(
+            [_spec(1, 0.0, gpus=pool + 50)], WINDOW
+        )
+        assert schedule.jobs[0].n_gpus == pool
+
+    def test_job_past_window_dropped(self, small_cluster):
+        schedule = GpuScheduler(small_cluster).schedule(
+            [_spec(1, submit=WINDOW + 10.0)], WINDOW
+        )
+        assert not schedule.jobs and schedule.dropped_jobs == 1
+
+    def test_unknown_partition_dropped(self, small_cluster):
+        schedule = GpuScheduler(small_cluster).schedule(
+            [_spec(1, 0.0, partition="tpu")], WINDOW
+        )
+        assert schedule.dropped_jobs == 1
+
+
+class TestBlackouts:
+    def test_drained_gpu_gets_no_new_placements(self, small_cluster):
+        node = [n for n in small_cluster.gpu_nodes if n.kind.value == "a100_x4"][0]
+        blackout_gpu = node.gpus[0].key
+        blackouts = {blackout_gpu: [(0.0, WINDOW)]}
+        specs = [_spec(i, submit=float(i), gpus=1) for i in range(60)]
+        schedule = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            specs, WINDOW
+        )
+        placed = {gpu for job in schedule.jobs for gpu in job.gpus}
+        assert blackout_gpu not in placed
+
+    def test_blackout_delays_rather_than_drops(self, small_cluster):
+        # Black out every a100 GPU for the first day: jobs queue behind it.
+        pool = [
+            gpu.key
+            for node in small_cluster.gpu_nodes
+            if node.kind.value in ("a100_x4", "a100_x8")
+            for gpu in node.gpus
+        ]
+        blackouts = {gpu: [(0.0, 86400.0)] for gpu in pool}
+        schedule = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            [_spec(1, submit=0.0)], WINDOW
+        )
+        assert schedule.jobs[0].start_time >= 86400.0
+
+
+class TestOccupancyIndex:
+    def test_job_at_lookup(self, small_cluster):
+        specs = [_spec(1, submit=0.0, duration=1000.0)]
+        schedule = GpuScheduler(small_cluster).schedule(specs, WINDOW)
+        job = schedule.jobs[0]
+        gpu = job.gpus[0]
+        occupancy = schedule.occupancy
+        assert occupancy.job_at(gpu, job.start_time + 1.0) == job.job_id
+        assert occupancy.job_at(gpu, job.end_time + 1.0) is None
+        assert occupancy.job_at(("nope", "x"), 0.0) is None
+
+    def test_sample_busy_points_hit_jobs(self, schedule):
+        occupancy = schedule.occupancy
+        rng = np.random.default_rng(0)
+        gpus, times = occupancy.sample_busy(rng, 200)
+        assert len(gpus) == 200
+        assert all(
+            occupancy.job_at(gpu, t) is not None for gpu, t in zip(gpus, times)
+        )
+
+    def test_sample_idle_points_miss_jobs(self, schedule):
+        occupancy = schedule.occupancy
+        rng = np.random.default_rng(0)
+        gpus, times = occupancy.sample_idle(rng, 200)
+        assert all(occupancy.job_at(gpu, t) is None for gpu, t in zip(gpus, times))
+
+    def test_utilization_between_zero_and_one(self, schedule):
+        util = schedule.utilization()
+        assert 0.0 < util < 1.0
+
+    def test_empty_index(self):
+        occupancy = OccupancyIndex([], window_seconds=100.0)
+        rng = np.random.default_rng(0)
+        gpus, times = occupancy.sample_busy(rng, 5)
+        assert gpus == [] and times.size == 0
+        assert occupancy.utilization() == 0.0

@@ -1,0 +1,119 @@
+"""Workload generation shaped by Table 3."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.slurm.job import JobState
+from repro.slurm.workload import (
+    SIZE_BUCKETS,
+    WALLTIME_CAP,
+    WorkloadConfig,
+    WorkloadModel,
+    classify_ml,
+)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    model = WorkloadModel(WorkloadConfig(scale=0.02, seed=9, mmu_budget=300.0))
+    return model.generate()
+
+
+class TestBuckets:
+    def test_shares_sum_to_one(self):
+        assert sum(b.count_share for b in SIZE_BUCKETS) == pytest.approx(1.0, abs=0.001)
+
+    def test_bucket_bounds_contiguous(self):
+        for prev, nxt in zip(SIZE_BUCKETS, SIZE_BUCKETS[1:]):
+            assert nxt.min_gpus == prev.max_gpus + 1
+
+    def test_sizes_within_bounds(self):
+        for bucket in SIZE_BUCKETS:
+            assert all(bucket.min_gpus <= s <= bucket.max_gpus for s in bucket.sizes)
+
+    def test_ml_share_derived_from_gpu_hours(self):
+        bucket = SIZE_BUCKETS[4]  # 32-64: ML-heavy in the paper
+        assert bucket.ml_share == pytest.approx(161.9 / (161.9 + 226.4))
+
+
+class TestGeneration:
+    def test_job_count_scales(self):
+        small = WorkloadModel(WorkloadConfig(scale=0.01, seed=1))
+        assert small.expected_job_count == pytest.approx(14_451, rel=0.01)
+
+    def test_submit_times_sorted_within_window(self, jobs):
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+        window = 855 * 86400.0 * 0.02
+        assert all(0 <= t < window for t in times)
+
+    def test_size_mix_matches_table3(self, jobs):
+        single = sum(1 for j in jobs if j.requested_gpus == 1)
+        small = sum(1 for j in jobs if 2 <= j.requested_gpus <= 4)
+        assert single / len(jobs) == pytest.approx(0.6986, abs=0.01)
+        assert small / len(jobs) == pytest.approx(0.2731, abs=0.01)
+
+    def test_duration_medians_per_bucket(self, jobs):
+        singles = [j.duration / 60.0 for j in jobs if j.requested_gpus == 1]
+        assert np.median(singles) == pytest.approx(10.15, rel=0.15)
+
+    def test_background_failure_rate(self, jobs):
+        failed = sum(1 for j in jobs if j.natural_state is not JobState.COMPLETED)
+        assert failed / len(jobs) == pytest.approx(1 - 0.7468, abs=0.01)
+
+    def test_failure_states_diverse(self, jobs):
+        states = Counter(j.natural_state for j in jobs)
+        assert states[JobState.FAILED] > states[JobState.TIMEOUT] > 0
+        assert states[JobState.OUT_OF_MEMORY] > 0
+
+    def test_mmu_budget_distributed(self, jobs):
+        total = sum(j.mmu_emissions for j in jobs)
+        assert total == pytest.approx(300.0, rel=0.15)
+        buggy = [j for j in jobs if j.mmu_emissions > 0]
+        assert all(j.mmu_emissions >= 1 for j in buggy)
+
+    def test_user_xid_emissions_rare(self, jobs):
+        xid13 = sum(j.xid13_emissions for j in jobs)
+        assert 0 < xid13 < len(jobs) * 0.05
+
+    def test_partition_routing(self, jobs):
+        big = [j for j in jobs if j.requested_gpus > 4]
+        assert all(j.partition == "a100" for j in big)
+        small_partitions = {j.partition for j in jobs if j.requested_gpus <= 4}
+        assert small_partitions == {"a40", "a100"}
+
+    def test_partition_override(self):
+        model = WorkloadModel(
+            WorkloadConfig(scale=0.005, seed=1, partition_override="h100")
+        )
+        assert {j.partition for j in model.generate()} == {"h100"}
+
+    def test_long_haul_jobs_exist(self, jobs):
+        longest = max(j.duration for j in jobs)
+        assert longest > WALLTIME_CAP
+
+    def test_deterministic(self):
+        config = WorkloadConfig(scale=0.005, seed=4)
+        a = WorkloadModel(config).generate()
+        b = WorkloadModel(config).generate()
+        assert [(j.submit_time, j.duration) for j in a] == [
+            (j.submit_time, j.duration) for j in b
+        ]
+
+
+class TestClassifyMl:
+    @pytest.mark.parametrize("name", ["train_resnet50", "llm_finetune", "bert_pretrain",
+                                      "gpt_inference", "MODEL_eval"])
+    def test_ml_names(self, name):
+        assert classify_ml(name)
+
+    @pytest.mark.parametrize("name", ["namd_run", "wrf_forecast", "bash", "jupyter"])
+    def test_non_ml_names(self, name):
+        assert not classify_ml(name)
+
+    def test_generated_names_consistent_with_flag(self, jobs):
+        sample = jobs[:2000]
+        agreement = sum(1 for j in sample if classify_ml(j.name) == j.is_ml)
+        assert agreement == len(sample)

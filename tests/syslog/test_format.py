@@ -1,0 +1,113 @@
+"""Syslog rendering: line shape, burst structure, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.parsing import parse_line
+from repro.faults.events import ErrorEvent
+from repro.faults.xid import Xid
+from repro.syslog.format import (
+    BURST_GAP_HIGH,
+    BURST_GAP_LOW,
+    XID_MESSAGES,
+    burst_offsets,
+    render_event_lines,
+    render_line,
+    render_trace,
+)
+from repro.util.timeutil import parse_timestamp
+
+
+def _event(t=100.0, persistence=0.0, xid=Xid.GSP):
+    return ErrorEvent(
+        time=t, node_id="gpub042", pci_bus="0000:C7:00", xid=xid,
+        persistence=persistence,
+    )
+
+
+class TestRenderLine:
+    def test_contains_nvrm_marker_and_code(self):
+        line = render_line(_event(), 100.0)
+        assert "NVRM: Xid (PCI:0000:C7:00): 119," in line
+        assert line.split(" ")[1] == "gpub042"
+
+    def test_pid_rendering(self):
+        assert "pid=4242," in render_line(_event(), 100.0, pid=4242)
+        assert "pid='<unknown>'," in render_line(_event(), 100.0)
+
+    def test_every_xid_has_template(self):
+        for xid in Xid:
+            assert xid in XID_MESSAGES
+            line = render_line(_event(xid=xid), 50.0)
+            assert f"): {int(xid)}," in line
+
+
+class TestBurstStructure:
+    def test_zero_persistence_single_line(self):
+        lines = render_event_lines(_event(persistence=0.0))
+        assert len(lines) == 1
+
+    def test_burst_spans_exact_persistence(self):
+        event = _event(persistence=30.0)
+        lines = render_event_lines(event, seed=3)
+        times = [parse_timestamp(line.split(" ")[0]) for line in lines]
+        assert times[0] == pytest.approx(event.time, abs=0.001)
+        assert times[-1] == pytest.approx(event.time + 30.0, abs=0.001)
+
+    def test_burst_gaps_below_coalescing_window(self):
+        event = _event(persistence=200.0)
+        lines = render_event_lines(event, seed=3)
+        times = sorted(parse_timestamp(line.split(" ")[0]) for line in lines)
+        gaps = np.diff(times)
+        assert gaps.max() < 5.0
+
+    def test_burst_lines_identical_except_timestamp(self):
+        lines = render_event_lines(_event(persistence=20.0), seed=3)
+        bodies = {line.split(" ", 1)[1] for line in lines}
+        assert len(bodies) == 1
+
+    def test_deterministic_per_seed(self):
+        event = _event(persistence=50.0)
+        assert render_event_lines(event, seed=3) == render_event_lines(event, seed=3)
+        assert render_event_lines(event, seed=3) != render_event_lines(event, seed=4)
+
+    def test_tiny_persistence_two_lines(self):
+        lines = render_event_lines(_event(persistence=0.12))
+        assert len(lines) == 2
+
+
+class TestBurstOffsets:
+    def test_includes_zero_and_persistence(self):
+        rng = np.random.default_rng(0)
+        offsets = burst_offsets(47.3, rng)
+        assert offsets[0] == 0.0
+        assert offsets[-1] == pytest.approx(47.3)
+
+    def test_gaps_bounded(self):
+        rng = np.random.default_rng(0)
+        offsets = burst_offsets(300.0, rng)
+        gaps = np.diff(offsets)
+        assert gaps.max() <= BURST_GAP_HIGH + 1e-9
+        assert gaps.min() > 0.0
+
+    def test_gap_parameters_stay_below_window(self):
+        assert BURST_GAP_HIGH < 5.0
+        assert 0 < BURST_GAP_LOW < BURST_GAP_HIGH
+
+
+class TestRenderTrace:
+    def test_round_trip_through_parser(self):
+        events = [
+            _event(10.0, persistence=1.0, xid=Xid.MMU),
+            _event(100.0, persistence=0.0, xid=Xid.NVLINK),
+        ]
+        records = [parse_line(line) for line in render_trace(events, seed=1)]
+        assert all(r is not None for r in records)
+        xids = {r.xid for r in records}
+        assert xids == {31, 74}
+
+    def test_pid_map_by_event_index(self):
+        events = [_event(10.0), _event(50.0)]
+        lines = list(render_trace(events, seed=1, pids={1: 777}))
+        assert "pid='<unknown>'" in lines[0]
+        assert "pid=777" in lines[1]

@@ -1,0 +1,80 @@
+"""Timestamp formatting/parsing: the syslog boundary must round-trip."""
+
+import datetime as dt
+
+import pytest
+
+from repro.util.timeutil import (
+    DAY,
+    EPOCH,
+    HOUR,
+    MINUTE,
+    format_duration,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+class TestFormatTimestamp:
+    def test_epoch_is_zero(self):
+        assert format_timestamp(0.0) == "2022-01-01T00:00:00.000"
+
+    def test_millisecond_precision(self):
+        assert format_timestamp(1.234) == "2022-01-01T00:00:01.234"
+
+    def test_rounding_carry_into_next_second(self):
+        assert format_timestamp(1.9996) == "2022-01-01T00:00:02.000"
+
+    def test_day_rollover(self):
+        assert format_timestamp(DAY).startswith("2022-01-02T00:00:00")
+
+    def test_non_midnight_epoch_falls_back(self):
+        epoch = dt.datetime(2022, 1, 1, 6, 30, 0)
+        assert format_timestamp(0.0, epoch=epoch).startswith("2022-01-01T06:30:00")
+
+    def test_large_offsets_render_correct_year(self):
+        # 855 days past the epoch lands in May 2024, like the paper's window.
+        assert format_timestamp(855 * DAY).startswith("2024-05-05")
+
+
+class TestParseTimestamp:
+    def test_parses_whole_seconds(self):
+        assert parse_timestamp("2022-01-01T00:00:05") == 5.0
+
+    def test_parses_fractional(self):
+        assert parse_timestamp("2022-01-01T00:00:05.250") == pytest.approx(5.25)
+
+    def test_round_trip_millisecond_accuracy(self):
+        for value in (0.0, 0.123, 59.999, 3600.5, 86_399.25, 1_000_000.75):
+            parsed = parse_timestamp(format_timestamp(value))
+            assert parsed == pytest.approx(value, abs=0.001)
+
+    def test_round_trip_across_two_and_a_half_years(self):
+        value = 855 * DAY - 1.5
+        assert parse_timestamp(format_timestamp(value)) == pytest.approx(value, abs=0.001)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_timestamp("not-a-timestamp")
+
+    def test_custom_epoch(self):
+        epoch = dt.datetime(2024, 8, 1)
+        assert parse_timestamp("2024-08-01T00:01:00", epoch=epoch) == 60.0
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_duration(5 * MINUTE) == "5.0m"
+
+    def test_hours(self):
+        assert format_duration(2 * HOUR + 5 * MINUTE) == "02h 05m"
+
+    def test_days(self):
+        assert format_duration(DAY + 3 * HOUR + 4 * MINUTE) == "1d 03h 04m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,32 @@
+"""Validation helpers."""
+
+import pytest
+
+from repro.util.validation import check_fraction, check_positive, check_probability
+
+
+def test_check_positive_passes_through():
+    assert check_positive("x", 3.0) == 3.0
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", bad)
+
+
+@pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(ok):
+    assert check_probability("p", ok) == ok
+
+
+@pytest.mark.parametrize("bad", [-0.01, 1.01])
+def test_check_probability_rejects(bad):
+    with pytest.raises(ValueError):
+        check_probability("p", bad)
+
+
+def test_check_fraction_zero_depends_on_flag():
+    assert check_fraction("f", 0.0) == 0.0
+    with pytest.raises(ValueError):
+        check_fraction("f", 0.0, allow_zero=False)
