@@ -60,6 +60,36 @@ def main(argv: list[str] | None = None) -> int:
     p_mon.add_argument("logs", type=Path, help="directory of *.log files")
     p_mon.add_argument("--alarm-minutes", type=float, default=30.0)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the fleet health service: tail per-node logs live, "
+        "maintain per-GPU health, fire operator alerts, expose /metrics",
+    )
+    p_srv.add_argument("logs", type=Path,
+                       help="directory of per-node *.log files to follow "
+                       "(created when --simulate writes into it)")
+    p_srv.add_argument("--simulate", action="store_true",
+                       help="run a live fault-injection demo: inject a small "
+                       "cluster's trace and replay it into the log directory "
+                       "while the service follows it")
+    p_srv.add_argument("--seed", type=int, default=11)
+    p_srv.add_argument("--speedup", type=float, default=None,
+                       help="simulated seconds per wall second for the "
+                       "replay (default: flat out)")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="metrics endpoint port (0 = ephemeral)")
+    p_srv.add_argument("--alarm-minutes", type=float, default=10.0,
+                       help="open-persistence alarm threshold")
+    p_srv.add_argument("--alerts-jsonl", type=Path, default=None,
+                       help="also append alerts to this JSON-lines file")
+    p_srv.add_argument("--duration", type=float, default=None,
+                       help="follow for this many seconds then exit "
+                       "(without --simulate the default is to run forever)")
+    p_srv.add_argument("--trained-risk", action="store_true",
+                       help="fit the Section-4.3 persistence predictor on a "
+                       "synthesized window and use it for risk scores "
+                       "(default: static-prior heuristic)")
+
     args = parser.parse_args(argv)
     if args.command == "synthesize":
         return _cmd_synthesize(args)
@@ -73,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 
@@ -208,27 +240,139 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    from repro.core.parsing import iter_parse_syslog
     from repro.core.streaming import StreamingCoalescer
-    from repro.syslog import read_log_directory
+    from repro.fleet.tailer import iter_directory_records
     from repro.util.timeutil import format_duration, format_timestamp
 
-    records = sorted(
-        iter_parse_syslog(read_log_directory(args.logs)), key=lambda r: r.time
+    # Stream file-by-file: each GPU's records live in its node's (time-
+    # ordered) file, which is all the coalescer's per-GPU contract needs.
+    # Nothing is materialized or sorted — memory stays O(open runs).
+    n_closed = 0
+
+    def _count_closed(_error) -> None:
+        nonlocal n_closed
+        n_closed += 1
+
+    coalescer = StreamingCoalescer(
+        alarm_after_seconds=args.alarm_minutes * 60.0,
+        keep_closed=False,
+        on_close=_count_closed,
     )
-    coalescer = StreamingCoalescer(alarm_after_seconds=args.alarm_minutes * 60.0)
-    for alarm in coalescer.feed_many(records):
+    for alarm in coalescer.feed_many(iter_directory_records(args.logs)):
         print(
             f"ALARM {format_timestamp(alarm.start_time)} {alarm.node_id} "
             f"{alarm.pci_bus} XID {alarm.xid}: error open for "
             f"{format_duration(alarm.open_persistence)} "
             f"({alarm.n_raw:,} duplicate lines so far)"
         )
-    errors = coalescer.flush()
+    coalescer.flush()
     print(
-        f"stream complete: {len(errors):,} coalesced errors, "
+        f"stream complete: {n_closed:,} coalesced errors, "
         f"{len(coalescer.alarms)} persistence alarms"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.fleet import (
+        FleetHealthService,
+        FleetServiceConfig,
+        JsonLinesSink,
+        LiveLogEmitter,
+        StdoutSink,
+    )
+
+    if args.speedup is not None and args.speedup <= 0:
+        print("error: --speedup must be positive")
+        return 2
+    if args.alarm_minutes <= 0:
+        print("error: --alarm-minutes must be positive")
+        return 2
+
+    risk_scorer = None
+    if args.trained_risk:
+        from repro.fleet.risk import fit_risk_model, predictor_scorer
+
+        print("fitting persistence-risk model on a synthesized window...")
+        risk_scorer = predictor_scorer(fit_risk_model(seed=args.seed))
+
+    sinks = [StdoutSink()]
+    jsonl_sink = None
+    if args.alerts_jsonl is not None:
+        jsonl_sink = JsonLinesSink(args.alerts_jsonl)
+        sinks.append(jsonl_sink)
+
+    emitter = None
+    if args.simulate:
+        from repro.fleet.demo import demo_trace
+
+        trace = demo_trace(seed=args.seed)
+        args.logs.mkdir(parents=True, exist_ok=True)
+        emitter = LiveLogEmitter.from_trace(
+            trace, args.logs, seed=args.seed, speedup=args.speedup
+        )
+        print(
+            f"simulating {len(trace):,} injected events over "
+            f"{trace.window_seconds / 86_400.0:.1f} days on "
+            f"{len(trace.node_ids)} nodes -> {args.logs}"
+        )
+    elif not args.logs.is_dir():
+        print(f"error: {args.logs} is not a directory (use --simulate to create one)")
+        return 2
+
+    service = FleetHealthService(
+        FleetServiceConfig(
+            logs_dir=args.logs,
+            alarm_after_seconds=args.alarm_minutes * 60.0,
+            metrics_port=args.port,
+        ),
+        sinks=sinks,
+        risk_scorer=risk_scorer,
+    )
+    service.start()
+    print(f"metrics: {service.metrics_url}")
+    try:
+        if emitter is not None:
+            emitter.start()
+            emitter.join()
+            service.wait_idle(timeout=60.0)
+            if args.duration:
+                _time.sleep(args.duration)
+        elif args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            print("following logs; Ctrl-C to stop")
+            while True:
+                _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("stopping...")
+    finally:
+        if emitter is not None:
+            emitter.stop()
+        summary = service.summary()
+        metrics_text = service.render_metrics()
+        service.stop()
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+
+    print()
+    print("session summary:")
+    for key in ("records_ingested", "tracked_gpus", "error_onsets",
+                "open_runs", "persistence_alarms", "alerts_fired"):
+        print(f"  {key}: {summary[key]}")
+    if summary["alerts_by_rule"]:
+        for rule, count in summary["alerts_by_rule"].items():
+            print(f"    {rule}: {count}")
+    print()
+    print("final /metrics scrape (excerpt):")
+    for line in metrics_text.splitlines():
+        if line.startswith(("repro_fleet_error_onsets_total",
+                            "repro_fleet_alerts_total",
+                            "repro_fleet_open_runs",
+                            "repro_fleet_records_ingested_total")):
+            print(f"  {line}")
     return 0
 
 

@@ -16,7 +16,7 @@ which is the whole point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.coalesce import (
     DEFAULT_MAX_PERSISTENCE,
@@ -51,8 +51,28 @@ class _OpenRun:
 class StreamingCoalescer:
     """Incremental Algorithm 1 with live persistence alarms.
 
-    Records must arrive in non-decreasing time order per GPU (syslog order);
-    global interleaving across GPUs is fine.
+    **Ordering contract.**  Records should arrive in non-decreasing time
+    order per GPU (syslog order); global interleaving across GPUs is fine.
+    Real collection pipelines deliver *slightly* late lines (a flushed
+    buffer, a slow forwarder), so the contract is window-tolerant:
+
+    * a record up to ``window_seconds`` older than its run's latest record
+      is folded into the open run (it would have coalesced into the same
+      error had it arrived on time; an early-enough late record may extend
+      the run's start backward);
+    * a record later than that raises :class:`ValueError` — such a record
+      belongs to an already-determined portion of the stream and accepting
+      it would silently diverge from batch Algorithm 1.
+
+    **Live-path memory.**  By default every closed error is retained on
+    ``self.closed`` (batch-equivalence workflows read it back via
+    :meth:`flush`).  A long-running service should pass
+    ``keep_closed=False`` and receive closed errors through the
+    ``on_close`` callback instead, keeping memory O(open runs).
+
+    ``on_open(record)`` fires when a record starts a new run;
+    ``on_close(error)`` fires whenever a run closes (including during
+    :meth:`flush`).
     """
 
     def __init__(
@@ -60,12 +80,19 @@ class StreamingCoalescer:
         window_seconds: float = DEFAULT_WINDOW_SECONDS,
         max_persistence: float = DEFAULT_MAX_PERSISTENCE,
         alarm_after_seconds: float = 600.0,
+        *,
+        keep_closed: bool = True,
+        on_open: Optional[Callable[[RawXidRecord], None]] = None,
+        on_close: Optional[Callable[[CoalescedError], None]] = None,
     ) -> None:
         if window_seconds <= 0 or max_persistence <= 0 or alarm_after_seconds <= 0:
             raise ValueError("streaming coalescer thresholds must be positive")
         self.window_seconds = window_seconds
         self.max_persistence = max_persistence
         self.alarm_after_seconds = alarm_after_seconds
+        self.keep_closed = keep_closed
+        self.on_open = on_open
+        self.on_close = on_close
         self._open: Dict[GroupKey, _OpenRun] = {}
         self.alarms: List[PersistenceAlarm] = []
         self.closed: List[CoalescedError] = []
@@ -79,19 +106,32 @@ class StreamingCoalescer:
         if run is not None:
             gap = record.time - run.latest
             if gap < 0:
-                raise ValueError(
-                    "streaming input must be time-ordered per GPU "
-                    f"(got t={record.time} after t={run.latest})"
-                )
+                if -gap > self.window_seconds:
+                    raise ValueError(
+                        "streaming input out of order beyond the coalescing "
+                        f"window (got t={record.time} after t={run.latest})"
+                    )
+                # Late arrival within the window: fold it into the open run.
+                run.n_raw += 1
+                if record.time < run.start:
+                    run.start = record.time
+                return self._maybe_alarm(key, run, record)
             span = record.time - run.start
             if gap > self.window_seconds or span > self.max_persistence:
                 self._close(key, run)
                 run = None
         if run is None:
             self._open[key] = _OpenRun(record.time, record.time, 1)
+            if self.on_open is not None:
+                self.on_open(record)
             return None
         run.latest = record.time
         run.n_raw += 1
+        return self._maybe_alarm(key, run, record)
+
+    def _maybe_alarm(
+        self, key: GroupKey, run: _OpenRun, record: RawXidRecord
+    ) -> Optional[PersistenceAlarm]:
         if not run.alarmed and (run.latest - run.start) >= self.alarm_after_seconds:
             run.alarmed = True
             alarm = PersistenceAlarm(
@@ -116,7 +156,11 @@ class StreamingCoalescer:
     # ------------------------------------------------------------------
 
     def flush(self) -> List[CoalescedError]:
-        """Close every open run (end of stream) and return all errors."""
+        """Close every open run (end of stream) and return all errors.
+
+        With ``keep_closed=False`` the closed errors went to ``on_close``
+        instead of accumulating, so the returned list is empty.
+        """
         for key, run in sorted(self._open.items()):
             self._close(key, run)
         self._open.clear()
@@ -126,18 +170,27 @@ class StreamingCoalescer:
     def open_runs(self) -> int:
         return len(self._open)
 
+    def open_persistence(self, node_id: str, pci_bus: str, xid: int, message: str) -> Optional[float]:
+        """Current open span for one run, or ``None`` if no run is open."""
+        run = self._open.get((node_id, pci_bus, xid, message))
+        if run is None:
+            return None
+        return run.latest - run.start
+
     def _close(self, key: GroupKey, run: _OpenRun) -> None:
         node_id, pci_bus, xid, message = key
-        self.closed.append(
-            CoalescedError(
-                time=run.start,
-                node_id=node_id,
-                pci_bus=pci_bus,
-                xid=xid,
-                persistence=run.latest - run.start,
-                n_raw=run.n_raw,
-                message=message,
-            )
+        error = CoalescedError(
+            time=run.start,
+            node_id=node_id,
+            pci_bus=pci_bus,
+            xid=xid,
+            persistence=run.latest - run.start,
+            n_raw=run.n_raw,
+            message=message,
         )
+        if self.keep_closed:
+            self.closed.append(error)
+        if self.on_close is not None:
+            self.on_close(error)
         if key in self._open:
             del self._open[key]

@@ -1,0 +1,73 @@
+"""Online risk scoring backed by :mod:`repro.core.prediction`.
+
+The registry's default scorer is a static-prior heuristic; this module
+wires in the paper's Section-4.3 ML suggestion instead: a
+:class:`~repro.core.prediction.PersistencePredictor` trained offline (on
+a synthesized window, or on your own cluster's history) and queried
+online with features the registry genuinely has while a run is still
+open — early line count, early mean gap, early span, and the GPU's prior
+run count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.parsing import iter_parse_syslog
+from repro.core.prediction import PersistencePredictor, RunExample, extract_runs
+from repro.fleet.registry import GpuHealth, OpenRunView, RiskScorer
+
+
+def predictor_scorer(predictor: PersistencePredictor) -> RiskScorer:
+    """Adapt a fitted predictor into a registry risk scorer.
+
+    The returned callable builds one :class:`RunExample` from the live
+    open-run view (``final_persistence`` is a placeholder — it feeds only
+    the training labels, never the feature vector) and returns
+    P(run long-persists).
+    """
+    if predictor.weights is None:
+        raise ValueError("predictor must be fitted before serving risk scores")
+
+    def score(health: GpuHealth, run: OpenRunView) -> float:
+        example = RunExample(
+            xid=run.xid,
+            gpu_key=health.gpu_key,
+            start_time=run.start,
+            early_lines=run.early_lines,
+            early_mean_gap=run.early_mean_gap,
+            early_span=run.early_span,
+            gpu_prior_runs=max(health.total_onsets - 1, 0),
+            final_persistence=0.0,
+        )
+        return float(predictor.predict_proba([example])[0])
+
+    return score
+
+
+def fit_risk_model(
+    *,
+    scale: float = 0.004,
+    seed: int = 7,
+    long_threshold_seconds: float = 600.0,
+    observe_seconds: float = 300.0,
+    predictor: Optional[PersistencePredictor] = None,
+) -> PersistencePredictor:
+    """Train a persistence predictor on a synthesized observation window.
+
+    A service that has no historical record archive yet can bootstrap its
+    risk model from the calibrated substrate (the same trick the
+    benchmarks use); pass the result to :func:`predictor_scorer`.
+    """
+    from repro.datasets import synthesize_delta
+
+    dataset = synthesize_delta(scale=scale, seed=seed)
+    records = sorted(
+        iter_parse_syslog(dataset.log_lines(include_noise=False)),
+        key=lambda r: r.time,
+    )
+    examples = extract_runs(records, observe_seconds=observe_seconds)
+    model = predictor or PersistencePredictor(
+        long_threshold_seconds=long_threshold_seconds
+    )
+    return model.fit(examples)

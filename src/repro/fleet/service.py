@@ -1,0 +1,207 @@
+"""The fleet health service: tailers -> registry -> rules -> exposition.
+
+:class:`FleetHealthService` owns the whole live path:
+
+* a :class:`~repro.fleet.tailer.DirectoryTailer` follows the per-node log
+  files through one bounded queue (the backpressure boundary);
+* a consumer thread feeds each record into the
+  :class:`~repro.fleet.registry.HealthRegistry` (sharded state, streaming
+  coalescing with ``keep_closed=False`` — live memory stays O(open runs))
+  and forwards onset/alarm facts to the
+  :class:`~repro.fleet.rules.RuleEngine`;
+* an optional :class:`~repro.fleet.exposition.MetricsServer` serves
+  Prometheus text format at ``/metrics``.
+
+Nothing on this path materializes or sorts the log volume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.fleet.exposition import MetricsServer, render_prometheus
+from repro.fleet.registry import HealthRegistry, RiskScorer
+from repro.fleet.rules import AlertRule, AlertSink, RuleEngine, default_rules
+from repro.fleet.tailer import DirectoryTailer
+
+
+@dataclass(frozen=True)
+class FleetServiceConfig:
+    """Wiring knobs for one service instance."""
+
+    logs_dir: Path
+    #: Tailer pool.
+    workers: int = 2
+    queue_size: int = 4096
+    poll_interval: float = 0.05
+    from_start: bool = True
+    #: Streaming coalescer / registry.
+    n_shards: int = 8
+    window_seconds: float = 5.0
+    max_persistence: float = 86_400.0
+    alarm_after_seconds: float = 1_800.0
+    rate_window_seconds: float = 3_600.0
+    #: Metrics endpoint; ``None`` disables the HTTP server entirely,
+    #: port 0 binds an ephemeral port.
+    metrics_port: Optional[int] = 0
+    metrics_host: str = "127.0.0.1"
+
+
+class FleetHealthService:
+    """Long-running live monitoring over a directory of node syslogs."""
+
+    def __init__(
+        self,
+        config: FleetServiceConfig,
+        *,
+        rules: Optional[Iterable[AlertRule]] = None,
+        sinks: Sequence[AlertSink] = (),
+        risk_scorer: Optional[RiskScorer] = None,
+    ) -> None:
+        self.config = config
+        self.registry = HealthRegistry(
+            n_shards=config.n_shards,
+            window_seconds=config.window_seconds,
+            max_persistence=config.max_persistence,
+            alarm_after_seconds=config.alarm_after_seconds,
+            rate_window_seconds=config.rate_window_seconds,
+            risk_scorer=risk_scorer,
+        )
+        self.engine = RuleEngine(
+            default_rules() if rules is None else rules, sinks=sinks
+        )
+        self.tailer = DirectoryTailer(
+            config.logs_dir,
+            queue_size=config.queue_size,
+            workers=config.workers,
+            poll_interval=config.poll_interval,
+            from_start=config.from_start,
+        )
+        self.metrics_server: Optional[MetricsServer] = None
+        if config.metrics_port is not None:
+            self.metrics_server = MetricsServer(
+                self.render_metrics,
+                host=config.metrics_host,
+                port=config.metrics_port,
+            )
+        self._consumer: Optional[threading.Thread] = None
+        self._started = False
+        self._stopped = False
+        self.records_ingested = 0
+        self.started_monotonic: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FleetHealthService":
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.started_monotonic = time.monotonic()
+        if self.metrics_server is not None:
+            self.metrics_server.start()
+        self.tailer.start()
+        self._consumer = threading.Thread(
+            target=self._consume, daemon=True, name="fleet-ingest"
+        )
+        self._consumer.start()
+        return self
+
+    def stop(self, *, timeout: float = 30.0) -> None:
+        """Stop tailing, drain the queue, shut the endpoint down."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        self.tailer.stop()
+        if self._consumer is not None:
+            self._consumer.join(timeout)
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+
+    def _consume(self) -> None:
+        for record in self.tailer.records():
+            result = self.registry.ingest(record)
+            self.records_ingested += 1
+            if result.onset:
+                self.engine.observe_onset(record, result.health)
+            if result.alarm is not None:
+                self.engine.observe_alarm(result.alarm)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        return None if self.metrics_server is None else self.metrics_server.url
+
+    def render_metrics(self) -> str:
+        extra = {}
+        if self.started_monotonic is not None:
+            extra["repro_fleet_uptime_seconds"] = (
+                time.monotonic() - self.started_monotonic
+            )
+        return render_prometheus(
+            self.registry, self.engine, self.tailer, extra_gauges=extra
+        )
+
+    # ------------------------------------------------------------------
+    # Test / batch-session helpers
+    # ------------------------------------------------------------------
+
+    def wait_for(
+        self,
+        predicate: Callable[["FleetHealthService"], bool],
+        *,
+        timeout: float = 30.0,
+        interval: float = 0.05,
+    ) -> bool:
+        """Poll until ``predicate(self)`` or timeout; True when satisfied."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate(self):
+                return True
+            time.sleep(interval)
+        return predicate(self)
+
+    def wait_idle(
+        self, *, idle_for: float = 0.3, timeout: float = 30.0
+    ) -> bool:
+        """Wait until ingestion has been quiet for ``idle_for`` seconds.
+
+        "Quiet" = no new records ingested and the queue empty — the state
+        a finished emitter leaves behind.  Returns False on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        last_count = -1
+        quiet_since: Optional[float] = None
+        while time.monotonic() < deadline:
+            count = self.records_ingested
+            if count != last_count or self.tailer.queue_depth > 0:
+                last_count = count
+                quiet_since = None
+            elif quiet_since is None:
+                quiet_since = time.monotonic()
+            elif time.monotonic() - quiet_since >= idle_for:
+                return True
+            time.sleep(0.05)
+        return False
+
+    def summary(self) -> dict:
+        """A human-readable state snapshot (the serve CLI's exit report)."""
+        onsets = self.registry.onset_counts()
+        return {
+            "records_ingested": self.records_ingested,
+            "tracked_gpus": len(self.registry.snapshot()),
+            "error_onsets": sum(onsets.values()),
+            "onsets_by_xid": dict(sorted(onsets.items())),
+            "open_runs": self.registry.open_runs(),
+            "persistence_alarms": self.registry.persistence_alarms(),
+            "alerts_fired": self.engine.total_fired(),
+            "alerts_by_rule": {
+                name: count
+                for name, count in sorted(self.engine.fired_counts.items())
+                if count
+            },
+        }

@@ -94,6 +94,73 @@ class TestAlarms:
         with pytest.raises(ValueError):
             StreamingCoalescer(alarm_after_seconds=0.0)
 
+    def test_late_record_within_window_is_folded_into_the_run(self):
+        """A slightly-late line (flushed buffer, slow forwarder) must merge
+        into the open run it would have coalesced with anyway."""
+        streaming = StreamingCoalescer(window_seconds=5.0)
+        streaming.feed(_record(10.0))
+        streaming.feed(_record(12.0))
+        streaming.feed(_record(9.0))  # 3s late: within the window
+        errors = streaming.flush()
+        assert len(errors) == 1
+        assert errors[0].n_raw == 3
+        # The late line extended the run's start backward.
+        assert errors[0].time == 9.0
+        assert errors[0].persistence == pytest.approx(3.0)
+
+    def test_late_record_beyond_window_still_rejected(self):
+        streaming = StreamingCoalescer(window_seconds=5.0)
+        streaming.feed(_record(10.0))
+        streaming.feed(_record(20.0))
+        with pytest.raises(ValueError):
+            streaming.feed(_record(14.0))  # 6s late: past the window
+
+    def test_late_record_can_complete_an_alarm(self):
+        streaming = StreamingCoalescer(window_seconds=5.0, alarm_after_seconds=6.0)
+        streaming.feed(_record(10.0))
+        streaming.feed(_record(14.0))
+        alarm = streaming.feed(_record(9.0))  # stretches the span to 5s... no
+        assert alarm is None
+        alarm = streaming.feed(_record(16.0))  # span 9.0 -> 16.0 crosses 6s
+        assert alarm is not None
+        assert alarm.start_time == 9.0
+
+
+class TestCallbacksAndMemory:
+    def test_on_open_fires_once_per_run(self):
+        opened = []
+        streaming = StreamingCoalescer(
+            window_seconds=5.0, on_open=lambda r: opened.append(r.time)
+        )
+        for t in (0.0, 3.0, 100.0, 102.0):
+            streaming.feed(_record(t))
+        assert opened == [0.0, 100.0]  # dup lines never re-open
+
+    def test_on_close_receives_every_error_even_without_keep_closed(self):
+        closed = []
+        streaming = StreamingCoalescer(
+            window_seconds=5.0, keep_closed=False,
+            on_close=lambda e: closed.append(e),
+        )
+        streaming.feed(_record(0.0))
+        streaming.feed(_record(100.0))  # closes the first run
+        assert [e.time for e in closed] == [0.0]
+        assert streaming.flush() == []  # nothing retained on the live path
+        assert [e.time for e in closed] == [0.0, 100.0]
+
+    def test_keep_closed_default_retains_history(self):
+        streaming = StreamingCoalescer(window_seconds=5.0)
+        streaming.feed(_record(0.0))
+        streaming.feed(_record(100.0))
+        assert len(streaming.flush()) == 2
+
+    def test_open_persistence_query(self):
+        streaming = StreamingCoalescer(window_seconds=5.0)
+        streaming.feed(_record(0.0))
+        streaming.feed(_record(4.0))
+        assert streaming.open_persistence("n1", "p", 95, "m") == pytest.approx(4.0)
+        assert streaming.open_persistence("n1", "p", 31, "m") is None
+
     def test_catches_the_uncontained_saga_early(self, dataset):
         """The 17-day-class burst should alarm within minutes of starting,
         not 17 days later — the monitoring gap the paper calls out."""

@@ -41,6 +41,25 @@ class TestCli:
         assert "stream complete" in out
         assert "ALARM" in out  # the offender GPU trips the watchdog
 
+    def test_serve_simulate(self, tmp_path, capsys):
+        logs = tmp_path / "logs"
+        alerts = tmp_path / "alerts.jsonl"
+        assert main([
+            "serve", str(logs), "--simulate", "--seed", "11",
+            "--alarm-minutes", "10", "--alerts-jsonl", str(alerts),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics: http://" in out
+        assert "ALERT" in out
+        assert "drain_node" in out  # the XID-79 rule fired
+        assert "session summary:" in out
+        assert "repro_fleet_records_ingested_total" in out
+        assert alerts.exists() and alerts.read_text().strip()
+
+    def test_serve_rejects_missing_directory(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent")]) == 2
+        assert "not a directory" in capsys.readouterr().out
+
     def test_experiment_listing(self, capsys):
         assert main(["experiment"]) == 0
         out = capsys.readouterr().out
