@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""What does the measured failure process cost a long training run?
+
+A walkthrough of the what-if engine: one scenario (fleet + job), all four
+recovery policies, a Monte-Carlo sweep each, and a side-by-side verdict —
+the forward-looking version of the paper's Section 5 recovery discussion.
+
+Usage::
+
+    PYTHONPATH=src python examples/whatif_training.py
+    PYTHONPATH=src python examples/whatif_training.py \
+        --scenario h100-512 --replicas 32 --workers 4
+"""
+
+import argparse
+
+from repro.sim import SweepConfig, list_scenarios, run_sweep
+from repro.util.tables import Table
+
+POLICIES = (
+    ("none", "no checkpointing (restart from zero)"),
+    ("ckpt", "checkpoint/restart, Young/Daly interval"),
+    ("spare:4", "checkpointing + 4 hot spares (evicts bad parts)"),
+    ("elastic", "checkpointing + elastic shrink/regrow"),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scenario", default="a100-256",
+                        help="one of: " + ", ".join(n for n, _ in list_scenarios()))
+    parser.add_argument("--replicas", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--useful-hours", type=float, default=168.0,
+                        help="a week of useful work by default")
+    args = parser.parse_args()
+
+    print(f"scenario {args.scenario}, {args.useful_hours:.0f} h useful work, "
+          f"{args.replicas} replicas per policy\n")
+
+    table = Table(
+        f"Recovery policies on {args.scenario}",
+        ("policy", "goodput", "ettr h", "rework h", "repair-wait h",
+         "wasted GPU-h", "done"),
+    )
+    for spec, blurb in POLICIES:
+        result = run_sweep(
+            SweepConfig(
+                scenario=args.scenario,
+                policy=spec,
+                replicas=args.replicas,
+                seed=args.seed,
+                useful_hours=args.useful_hours,
+            ),
+            workers=args.workers,
+        )
+        a = result.aggregate
+        table.add_row(
+            spec,
+            f"{a['goodput']['mean']:.3f} ± {a['goodput']['ci95']:.3f}",
+            f"{a['ettr_hours']['mean']:.2f}",
+            f"{a['rework_hours']['mean']:.1f}",
+            f"{a['repair_wait_hours']['mean']:.1f}",
+            f"{a['wasted_gpu_hours']['mean']:,.0f}",
+            f"{a['completed_fraction']:.2f}",
+        )
+        print(f"  {spec:<10} {blurb}")
+    print()
+    print(table.render())
+    print(
+        "\nReading the table: 'none' shows why checkpointing is not optional"
+        "\nat this scale; plain 'ckpt' still blocks on node repairs and keeps"
+        "\nany defective part it drew; 'spare' pays a small swap cost to evict"
+        "\nbad parts permanently (the paper's drain-and-replace lever); and"
+        "\n'elastic' trades peak throughput for never standing still."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,33 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("id", nargs="?", default=None,
                        help="experiment id (omit to list)")
 
+    p_sim = sub.add_parser(
+        "simulate",
+        help="what-if engine: Monte-Carlo sweep of a training job against "
+        "the measured failure process under a recovery policy",
+    )
+    p_sim.add_argument("--scenario", default="a100-512",
+                       help="preset fleet+job (see --list-scenarios)")
+    p_sim.add_argument("--policy", default="ckpt",
+                       help="recovery policy: none | ckpt[:h] | "
+                       "spare[:n][:h] | elastic[:h]")
+    p_sim.add_argument("--replicas", type=int, default=16,
+                       help="Monte-Carlo replicas to run")
+    p_sim.add_argument("--workers", type=int, default=1,
+                       help="worker processes (aggregates are identical "
+                       "for any worker count)")
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--gpus", type=int, default=None,
+                       help="override the scenario's job size")
+    p_sim.add_argument("--useful-hours", type=float, default=None,
+                       help="override the scenario's job length")
+    p_sim.add_argument("--cache-dir", type=Path, default=None,
+                       help="cache replica results here (resumable sweeps)")
+    p_sim.add_argument("--json", action="store_true",
+                       help="emit the aggregate as JSON instead of a table")
+    p_sim.add_argument("--list-scenarios", action="store_true",
+                       help="list scenario presets and exit")
+
     p_mon = sub.add_parser(
         "monitor",
         help="stream a log directory through the live coalescer and print "
@@ -101,6 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "monitor":
         return _cmd_monitor(args)
     if args.command == "serve":
@@ -236,6 +265,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     dataset = synthesize_delta(scale=args.scale, seed=args.seed)
     study = DeltaStudy.from_dataset(dataset)
     print(run_experiment(args.id, study, scale=args.scale))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sim import AGGREGATE_FIELDS, SweepConfig, list_scenarios, run_sweep
+
+    if args.list_scenarios:
+        for name, description in list_scenarios():
+            print(f"{name:<20} {description}")
+        return 0
+    try:
+        config = SweepConfig(
+            scenario=args.scenario,
+            policy=args.policy,
+            replicas=args.replicas,
+            seed=args.seed,
+            n_gpus=args.gpus,
+            useful_hours=args.useful_hours,
+        )
+        config.build()  # fail fast on bad scenario/policy specs
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    result = run_sweep(
+        config,
+        workers=args.workers,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+    )
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    aggregate = result.aggregate
+    print(f"scenario {config.scenario}  policy {config.policy}  "
+          f"replicas {config.replicas} (cached {result.n_from_cache})  "
+          f"seed {config.seed}")
+    print(f"completed fraction: {aggregate['completed_fraction']:.2f}")
+    for name in AGGREGATE_FIELDS:
+        cell = aggregate[name]
+        print(f"  {name:<24} {cell['mean']:12.3f} +/- {cell['ci95']:.3f}")
     return 0
 
 

@@ -108,6 +108,52 @@ def _h100(study: DeltaStudy, scale: float) -> str:
     )
 
 
+def _sim_table(rows: "List[tuple[str, dict]]", axis: str) -> str:
+    lines = [
+        f"  {axis:<22} {'goodput':>9} {'ettr h':>8} {'wasted GPU-h':>13} {'done':>6}"
+    ]
+    for label, aggregate in rows:
+        lines.append(
+            f"  {label:<22} {aggregate['goodput']['mean']:>9.3f} "
+            f"{aggregate['ettr_hours']['mean']:>8.2f} "
+            f"{aggregate['wasted_gpu_hours']['mean']:>13.0f} "
+            f"{aggregate['completed_fraction']:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _sim_policies(study: DeltaStudy, scale: float) -> str:
+    from repro.sim import SweepConfig, run_sweep
+
+    rows = []
+    for policy in ("none", "ckpt", "spare:4", "elastic"):
+        result = run_sweep(
+            SweepConfig(scenario="a100-256", policy=policy, replicas=3,
+                        seed=7, n_gpus=128, useful_hours=24.0)
+        )
+        rows.append((policy, result.aggregate))
+    return (
+        "What-if: recovery policies, 128-GPU day-long job, Ampere fleet\n"
+        + _sim_table(rows, "policy")
+    )
+
+
+def _sim_fleets(study: DeltaStudy, scale: float) -> str:
+    from repro.sim import SweepConfig, run_sweep
+
+    rows = []
+    for scenario in ("a100-256", "h100-256", "a100-512-no-xid79"):
+        result = run_sweep(
+            SweepConfig(scenario=scenario, policy="spare:2", replicas=3,
+                        seed=7, n_gpus=128, useful_hours=24.0)
+        )
+        rows.append((scenario, result.aggregate))
+    return (
+        "What-if: fleets under hot-spare recovery (128 GPUs, 24 h useful)\n"
+        + _sim_table(rows, "scenario")
+    )
+
+
 def _generations(study: DeltaStudy, scale: float) -> str:
     from repro.core.comparison import GenerationComparison
     from repro.core.report import render_generations
@@ -144,6 +190,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    "emerging H100 errors (own dataset)", _h100, needs_jobs=False),
         Experiment("sec7", "Section 7",
                    "generational comparison", _generations, needs_jobs=False),
+        Experiment("sim.policies", "Section 5 (what-if)",
+                   "recovery-policy sweep on the what-if engine",
+                   _sim_policies, needs_jobs=False),
+        Experiment("sim.fleets", "Section 5.5/6 (what-if)",
+                   "A100 vs H100 vs no-Xid-79 fleets under hot spares",
+                   _sim_fleets, needs_jobs=False),
     )
 }
 

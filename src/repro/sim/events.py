@@ -1,0 +1,92 @@
+"""The discrete-event core: typed events and a stable priority queue.
+
+The engine advances a clock by popping the earliest event from an
+:class:`EventQueue`.  Two details keep the state machine honest:
+
+* **Stable ordering** — ties on time break by insertion sequence, so a
+  restore scheduled before a failure at the same instant is processed
+  first and replicas are bit-for-bit reproducible.
+* **Generation guards** — an interruption invalidates every event the
+  running segment had scheduled (its next checkpoint, its completion).
+  Rather than deleting from the heap, each event carries the generation it
+  was scheduled under and the engine discards stale ones on pop.  The same
+  mechanism makes the failure process exact under rate changes: evicting a
+  defective node re-samples the next arrival and bumps the failure
+  generation, which is correct because exponential arrivals are memoryless.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class EventKind(enum.Enum):
+    """Everything that can happen to a training job in the what-if world."""
+
+    #: A root fault arrives on the job's allocation (chains resolved inline).
+    FAILURE = "failure"
+    #: The running segment reaches its checkpoint boundary; the write begins.
+    CHECKPOINT_WRITE = "checkpoint_write"
+    #: The checkpoint write finishes; progress becomes durable.
+    CHECKPOINT_DONE = "checkpoint_done"
+    #: Recovery finishes; the job restarts from its last durable point.
+    RESTORE_DONE = "restore_done"
+    #: A drained node finishes repair (returns to the spare pool, or
+    #: regrows an elastic allocation).
+    DRAIN_END = "drain_end"
+    #: A hot spare is substituted for a failed node.
+    SPARE_SWAP = "spare_swap"
+    #: The job's remaining useful work finishes at the current rate.
+    JOB_COMPLETE = "job_complete"
+
+
+@dataclass(frozen=True, order=False)
+class SimEvent:
+    """One scheduled occurrence.
+
+    ``generation`` is matched against the engine's current segment (for
+    segment-scoped events) or failure-process generation; ``payload``
+    carries event-specific data (a failure draw, a node index).
+    """
+
+    time: float
+    kind: EventKind
+    generation: int = 0
+    payload: Any = None
+
+
+@dataclass
+class EventQueue:
+    """A stable min-heap of :class:`SimEvent` keyed by (time, sequence)."""
+
+    _heap: list = field(default_factory=list)
+    _seq: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def push(self, event: SimEvent) -> None:
+        heapq.heappush(self._heap, (event.time, next(self._seq), event))
+
+    def schedule(
+        self, time: float, kind: EventKind, generation: int = 0, payload: Any = None
+    ) -> SimEvent:
+        event = SimEvent(time=time, kind=kind, generation=generation, payload=payload)
+        self.push(event)
+        return event
+
+    def pop(self) -> Optional[SimEvent]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        """Events in an unspecified order (diagnostics only)."""
+        return (entry[2] for entry in self._heap)

@@ -1,0 +1,111 @@
+"""Per-run outcomes and sweep aggregation.
+
+``RunMetrics`` is the engine's verdict on one Monte-Carlo replica;
+``aggregate_metrics`` reduces a replica list to mean ± 95 % half-widths in
+a fixed field order, so a sweep's aggregate is a pure function of the
+replica set — independent of worker count or completion order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Outcome of one simulated training run (hours unless noted)."""
+
+    completed: bool
+    wall_hours: float
+    useful_hours: float          # work the job needed (GPU-scaled job-hours)
+    n_gpus: int
+    #: Overhead split: where the non-useful wall time went.
+    checkpoint_write_hours: float
+    rework_hours: float          # progress recomputed after interruptions
+    restore_hours: float
+    repair_wait_hours: float     # blocked on node repair (no spare available)
+    downtime_hours: float        # total interrupted wall time (detect+wait+restore)
+    #: Allocated capacity actually consumed (integrates elastic shrink).
+    gpu_hours_allocated: float
+    #: Event counts.
+    n_root_events: int
+    n_interruptions: int
+    n_inoperable: int
+    n_checkpoints: int
+    n_spare_swaps: int
+    offenders_drawn: int
+    offenders_evicted: int
+    #: Mean effective time-to-recovery over interruptions (0 if none).
+    ettr_hours: float
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of wall time spent on work that counted."""
+        if self.wall_hours <= 0:
+            return 0.0
+        return self.useful_hours / self.wall_hours
+
+    @property
+    def wasted_gpu_hours(self) -> float:
+        """Allocated GPU-hours that produced no retained progress."""
+        return max(0.0, self.gpu_hours_allocated - self.useful_hours * self.n_gpus)
+
+    def to_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["goodput"] = self.goodput
+        out["wasted_gpu_hours"] = self.wasted_gpu_hours
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunMetrics":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def mean_ci95(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and normal-approximation 95 % half-width."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = math.fsum(values) / n
+    if n == 1:
+        return mean, 0.0
+    var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, 1.96 * math.sqrt(var / n)
+
+
+#: Aggregated fields, in report order.
+AGGREGATE_FIELDS: Tuple[str, ...] = (
+    "goodput",
+    "wall_hours",
+    "ettr_hours",
+    "wasted_gpu_hours",
+    "checkpoint_write_hours",
+    "rework_hours",
+    "restore_hours",
+    "repair_wait_hours",
+    "downtime_hours",
+    "n_root_events",
+    "n_interruptions",
+    "n_checkpoints",
+    "n_spare_swaps",
+    "offenders_drawn",
+    "offenders_evicted",
+)
+
+
+def aggregate_metrics(runs: Sequence[RunMetrics]) -> Dict[str, object]:
+    """Mean ± CI per field, plus the completion fraction, as a flat dict."""
+    if not runs:
+        raise ValueError("cannot aggregate an empty replica list")
+    rows: List[Dict[str, object]] = [run.to_dict() for run in runs]
+    out: Dict[str, object] = {"replicas": len(runs)}
+    out["completed_fraction"] = math.fsum(
+        1.0 for run in runs if run.completed
+    ) / len(runs)
+    for name in AGGREGATE_FIELDS:
+        mean, ci = mean_ci95([float(row[name]) for row in rows])
+        out[name] = {"mean": mean, "ci95": ci}
+    return out

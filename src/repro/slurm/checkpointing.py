@@ -38,8 +38,17 @@ class CheckpointConfig:
 
 
 def optimal_interval(config: CheckpointConfig) -> float:
-    """Young's approximation of the optimal checkpoint interval (hours)."""
-    return math.sqrt(2.0 * config.checkpoint_cost_hours * config.mtbf_hours)
+    """Young's approximation of the optimal checkpoint interval (hours).
+
+    Clamped to the MTBF: ``sqrt(2 C M)`` exceeds ``M`` once the checkpoint
+    cost passes half the mean failure gap (the first-order expansion is
+    outside its validity range there), and an interval longer than the mean
+    gap would mean most runs never reach their first checkpoint.  Degenerate
+    configs (checkpoint cost at or above the MTBF) therefore checkpoint
+    once per mean failure gap instead of effectively never.
+    """
+    tau = math.sqrt(2.0 * config.checkpoint_cost_hours * config.mtbf_hours)
+    return min(tau, config.mtbf_hours)
 
 
 def expected_overhead(config: CheckpointConfig, interval_hours: float) -> float:

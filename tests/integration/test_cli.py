@@ -69,6 +69,47 @@ class TestCli:
         assert main(["experiment", "fig5", "--scale", "0.004", "--seed", "3"]) == 0
         assert "GSP" in capsys.readouterr().out
 
+    def test_simulate_list_scenarios(self, capsys):
+        assert main(["simulate", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "a100-512" in out and "h100-256" in out
+        assert "no-xid79" in out
+
+    def test_simulate_sweep_table(self, capsys):
+        assert main([
+            "simulate", "--scenario", "a100-256", "--policy", "spare:2",
+            "--replicas", "2", "--workers", "2", "--seed", "13",
+            "--gpus", "32", "--useful-hours", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed fraction" in out
+        assert "goodput" in out and "ettr_hours" in out
+
+    def test_simulate_json_and_cache(self, tmp_path, capsys):
+        import json
+
+        args = [
+            "simulate", "--scenario", "a100-256", "--policy", "ckpt",
+            "--replicas", "2", "--seed", "13", "--gpus", "32",
+            "--useful-hours", "12", "--cache-dir", str(tmp_path), "--json",
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["aggregate"]["replicas"] == 2
+        assert first["n_from_cache"] == 0
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["n_from_cache"] == 2
+        assert second["aggregate"] == first["aggregate"]
+
+    def test_simulate_rejects_unknown_scenario(self, capsys):
+        assert main(["simulate", "--scenario", "z9000"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_simulate_rejects_bad_policy(self, capsys):
+        assert main(["simulate", "--policy", "teleport"]) == 2
+        assert "unknown policy" in capsys.readouterr().out
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

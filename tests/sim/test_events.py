@@ -1,0 +1,51 @@
+"""Event-queue core: ordering, stability, generations."""
+
+from repro.sim.events import EventKind, EventQueue, SimEvent
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, EventKind.FAILURE)
+        q.schedule(1.0, EventKind.JOB_COMPLETE)
+        q.schedule(2.0, EventKind.CHECKPOINT_WRITE)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.FAILURE)
+        q.schedule(1.0, EventKind.RESTORE_DONE)
+        q.schedule(1.0, EventKind.DRAIN_END)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.FAILURE,
+            EventKind.RESTORE_DONE,
+            EventKind.DRAIN_END,
+        ]
+
+    def test_pop_empty_returns_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.schedule(1.0, EventKind.FAILURE)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+
+class TestPayloads:
+    def test_generation_and_payload_round_trip(self):
+        q = EventQueue()
+        q.schedule(1.0, EventKind.DRAIN_END, generation=7, payload={"node": 3})
+        event = q.pop()
+        assert event.generation == 7
+        assert event.payload == {"node": 3}
+
+    def test_push_accepts_prebuilt_event(self):
+        q = EventQueue()
+        q.push(SimEvent(time=2.0, kind=EventKind.SPARE_SWAP))
+        assert q.pop().kind is EventKind.SPARE_SWAP

@@ -1,0 +1,61 @@
+"""Per-run metrics and sweep aggregation."""
+
+import pytest
+
+from repro.sim.metrics import (
+    AGGREGATE_FIELDS,
+    RunMetrics,
+    aggregate_metrics,
+    mean_ci95,
+)
+
+
+def _metrics(**overrides):
+    base = dict(
+        completed=True, wall_hours=12.0, useful_hours=10.0, n_gpus=8,
+        checkpoint_write_hours=0.5, rework_hours=0.8, restore_hours=0.25,
+        repair_wait_hours=0.0, downtime_hours=0.7, gpu_hours_allocated=96.0,
+        n_root_events=3, n_interruptions=2, n_inoperable=1, n_checkpoints=5,
+        n_spare_swaps=0, offenders_drawn=1, offenders_evicted=0,
+        ettr_hours=0.35,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+class TestRunMetrics:
+    def test_derived_quantities(self):
+        m = _metrics()
+        assert m.goodput == pytest.approx(10.0 / 12.0)
+        assert m.wasted_gpu_hours == pytest.approx(96.0 - 10.0 * 8)
+
+    def test_goodput_safe_on_zero_wall(self):
+        assert _metrics(wall_hours=0.0).goodput == 0.0
+
+    def test_dict_round_trip(self):
+        m = _metrics()
+        row = m.to_dict()
+        assert row["goodput"] == pytest.approx(m.goodput)
+        assert RunMetrics.from_dict(row) == m
+
+
+class TestAggregation:
+    def test_mean_ci95(self):
+        mean, ci = mean_ci95([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert ci == pytest.approx(1.96 * (1.0 / 3.0) ** 0.5)
+        assert mean_ci95([]) == (0.0, 0.0)
+        assert mean_ci95([5.0]) == (5.0, 0.0)
+
+    def test_aggregate_shape(self):
+        runs = [_metrics(), _metrics(wall_hours=14.0, completed=False)]
+        aggregate = aggregate_metrics(runs)
+        assert aggregate["replicas"] == 2
+        assert aggregate["completed_fraction"] == pytest.approx(0.5)
+        for name in AGGREGATE_FIELDS:
+            assert set(aggregate[name]) == {"mean", "ci95"}
+        assert aggregate["wall_hours"]["mean"] == pytest.approx(13.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])

@@ -1,0 +1,94 @@
+"""Recovery policies: the spec grammar and interval resolution."""
+
+import math
+
+import pytest
+
+from repro.sim.policies import (
+    CheckpointRestart,
+    ElasticScale,
+    HotSpare,
+    NoCheckpoint,
+    RecoveryPolicy,
+    parse_policy,
+    resolve_interval,
+)
+
+
+class TestParsing:
+    def test_bare_names(self):
+        assert isinstance(parse_policy("none"), NoCheckpoint)
+        assert isinstance(parse_policy("ckpt"), CheckpointRestart)
+        assert isinstance(parse_policy("spare"), HotSpare)
+        assert isinstance(parse_policy("elastic"), ElasticScale)
+
+    def test_arguments(self):
+        assert parse_policy("ckpt:2.5").interval_hours == 2.5
+        spare = parse_policy("spare:4:1.5")
+        assert spare.n_spares == 4 and spare.interval_hours == 1.5
+        assert parse_policy("spare:0").n_spares == 0
+        assert parse_policy("elastic:3").interval_hours == 3.0
+
+    def test_case_and_whitespace_forgiven(self):
+        assert parse_policy("  CKPT  ").name == "ckpt"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "nope", "none:1", "ckpt:1:2", "spare:-1", "spare:1:2:3",
+         "elastic:a", "ckpt:xyz"],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_policy(bad)
+
+    def test_all_policies_satisfy_protocol(self):
+        for spec in ("none", "ckpt", "spare", "elastic"):
+            assert isinstance(parse_policy(spec), RecoveryPolicy)
+
+
+class TestIntervalResolution:
+    def test_no_checkpoint_is_infinite(self):
+        tau = resolve_interval(
+            NoCheckpoint(),
+            checkpoint_cost_hours=0.1, restore_cost_hours=0.25, mtbf_hours=10.0,
+        )
+        assert math.isinf(tau)
+
+    def test_fixed_interval_passes_through(self):
+        tau = resolve_interval(
+            CheckpointRestart(interval_hours=2.0),
+            checkpoint_cost_hours=0.1, restore_cost_hours=0.25, mtbf_hours=10.0,
+        )
+        assert tau == 2.0
+
+    def test_young_interval_from_mtbf(self):
+        tau = resolve_interval(
+            CheckpointRestart(),
+            checkpoint_cost_hours=0.1, restore_cost_hours=0.25, mtbf_hours=67.0,
+        )
+        assert tau == pytest.approx(math.sqrt(2 * 0.1 * 67.0))
+
+    def test_degenerate_mtbf_clamps(self):
+        # An allocation that drew the worst offender can see an MTBF below
+        # the checkpoint cost; the clamp keeps the interval meaningful.
+        tau = resolve_interval(
+            CheckpointRestart(),
+            checkpoint_cost_hours=0.5, restore_cost_hours=0.25, mtbf_hours=0.2,
+        )
+        assert tau == pytest.approx(0.2)
+
+    def test_infinite_mtbf_disables_checkpointing(self):
+        tau = resolve_interval(
+            HotSpare(),
+            checkpoint_cost_hours=0.1, restore_cost_hours=0.25,
+            mtbf_hours=float("inf"),
+        )
+        assert math.isinf(tau)
+
+    def test_nonpositive_fixed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_interval(
+                CheckpointRestart(interval_hours=0.0),
+                checkpoint_cost_hours=0.1, restore_cost_hours=0.25,
+                mtbf_hours=10.0,
+            )

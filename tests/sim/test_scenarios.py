@@ -1,0 +1,54 @@
+"""Scenario presets and counterfactual profile wiring."""
+
+import pytest
+
+from repro.faults.xid import Xid
+from repro.sim.scenarios import SCENARIOS, build_scenario, list_scenarios
+
+
+class TestRegistry:
+    def test_expected_presets_registered(self):
+        names = {name for name, _ in list_scenarios()}
+        assert {
+            "a100-512", "a100-256", "h100-256", "h100-512",
+            "a100-512-no-xid79", "a100-512-burned-in",
+        } <= names
+
+    def test_listing_matches_registry(self):
+        assert len(list_scenarios()) == len(SCENARIOS)
+        for name, description in list_scenarios():
+            assert SCENARIOS[name].description == description
+
+    def test_unknown_scenario_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="a100-512"):
+            build_scenario("z9000", "ckpt")
+
+
+class TestBuilding:
+    def test_policy_spec_or_object(self):
+        from repro.sim.policies import HotSpare
+
+        from_spec = build_scenario("a100-256", "spare:3")
+        from_object = build_scenario("a100-256", HotSpare(n_spares=3))
+        assert from_spec.policy == from_object.policy
+
+    def test_overrides_apply(self):
+        config = build_scenario("a100-512", "ckpt", n_gpus=16, useful_hours=5.0)
+        assert config.job.n_gpus == 16
+        assert config.job.useful_hours == 5.0
+        # Untouched fields keep the preset's values.
+        assert config.job.partition == "a100"
+
+    def test_h100_scenarios_use_hopper_partition(self):
+        config = build_scenario("h100-256", "ckpt")
+        assert config.job.partition == "h100"
+        assert "h100" in config.profile.name
+
+    def test_no_xid79_world_has_no_xid79(self):
+        config = build_scenario("a100-512-no-xid79", "ckpt")
+        assert Xid.FALLEN_OFF_BUS not in config.profile.xids
+        assert Xid.FALLEN_OFF_BUS in SCENARIOS["a100-512"].profile_factory().xids
+
+    def test_burned_in_world_has_no_offender_skew(self):
+        config = build_scenario("a100-512-burned-in", "ckpt")
+        assert all(c.offenders is None for c in config.profile.xids.values())

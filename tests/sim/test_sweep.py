@@ -1,0 +1,93 @@
+"""Sweep runner: determinism across workers, caching, resumability."""
+
+import json
+
+import pytest
+
+from repro.sim.sweep import SweepConfig, _load_cache, run_sweep
+
+#: Small enough to keep the suite fast, large enough to exercise the pool.
+_BASE = dict(scenario="a100-256", policy="spare:2", seed=13,
+             n_gpus=32, useful_hours=12.0)
+
+
+class TestConfigHash:
+    def test_replicas_excluded_from_hash(self):
+        a = SweepConfig(replicas=4, **_BASE)
+        b = SweepConfig(replicas=400, **_BASE)
+        assert a.config_hash() == b.config_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [{"seed": 14}, {"policy": "ckpt"}, {"scenario": "h100-256"},
+         {"n_gpus": 64}, {"useful_hours": 13.0}],
+    )
+    def test_semantic_fields_change_hash(self, change):
+        reference = SweepConfig(replicas=4, **_BASE)
+        modified = SweepConfig(replicas=4, **{**_BASE, **change})
+        assert reference.config_hash() != modified.config_hash()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(replicas=0)
+
+
+class TestDeterminism:
+    def test_aggregates_independent_of_worker_count(self):
+        # The acceptance criterion: identical aggregates for any K.
+        config = SweepConfig(replicas=5, **_BASE)
+        serial = run_sweep(config, workers=1)
+        parallel = run_sweep(config, workers=3)
+        assert serial.runs == parallel.runs
+        assert json.dumps(serial.aggregate, sort_keys=True) == json.dumps(
+            parallel.aggregate, sort_keys=True
+        )
+
+    def test_growing_a_sweep_preserves_early_replicas(self):
+        small = run_sweep(SweepConfig(replicas=3, **_BASE), workers=1)
+        large = run_sweep(SweepConfig(replicas=5, **_BASE), workers=2)
+        assert large.runs[:3] == small.runs
+
+
+class TestCache:
+    def test_resume_reuses_cached_replicas(self, tmp_path):
+        cache = str(tmp_path)
+        first = run_sweep(SweepConfig(replicas=3, **_BASE), workers=1,
+                          cache_dir=cache)
+        assert first.n_from_cache == 0
+        grown = run_sweep(SweepConfig(replicas=5, **_BASE), workers=2,
+                          cache_dir=cache)
+        assert grown.n_from_cache == 3
+        fresh = run_sweep(SweepConfig(replicas=5, **_BASE), workers=1)
+        assert grown.runs == fresh.runs
+
+    def test_cache_isolated_by_config(self, tmp_path):
+        cache = str(tmp_path)
+        run_sweep(SweepConfig(replicas=2, **_BASE), workers=1, cache_dir=cache)
+        other = run_sweep(
+            SweepConfig(replicas=2, **{**_BASE, "seed": 99}),
+            workers=1, cache_dir=cache,
+        )
+        assert other.n_from_cache == 0
+        assert len(list(tmp_path.glob("sweep-*.jsonl"))) == 2
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        config = SweepConfig(replicas=2, **_BASE)
+        cache = str(tmp_path)
+        run_sweep(config, workers=1, cache_dir=cache)
+        path = next(tmp_path.glob("sweep-*.jsonl"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"replica": 2, "metr')  # interrupted mid-write
+        cached = _load_cache(str(path))
+        assert set(cached) == {0, 1}
+        resumed = run_sweep(SweepConfig(replicas=3, **_BASE), workers=1,
+                            cache_dir=cache)
+        assert resumed.n_from_cache == 2
+        assert resumed.aggregate["replicas"] == 3
+
+    def test_result_to_dict_shape(self):
+        result = run_sweep(SweepConfig(replicas=2, **_BASE), workers=1)
+        row = result.to_dict()
+        assert row["config"]["scenario"] == "a100-256"
+        assert row["config_hash"] == result.config_hash
+        assert row["aggregate"]["replicas"] == 2

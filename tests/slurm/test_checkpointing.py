@@ -32,6 +32,22 @@ class TestAnalytics:
         )
         assert expected_overhead(config, optimal_interval(config)) > 0.35
 
+    def test_degenerate_interval_clamped_to_mtbf(self):
+        # Checkpoint cost at/above the MTBF: sqrt(2CM) > M is outside the
+        # first-order expansion's validity; the interval clamps to the mean
+        # failure gap instead of recommending "checkpoint less often than
+        # you fail".
+        config = CheckpointConfig(checkpoint_cost_hours=3.0, mtbf_hours=2.0)
+        assert math.sqrt(2 * 3.0 * 2.0) > 2.0  # unclamped would exceed MTBF
+        assert optimal_interval(config) == pytest.approx(2.0)
+
+    def test_clamp_boundary_is_half_mtbf_cost(self):
+        # C = M/2 is the crossover: sqrt(2 * M/2 * M) == M exactly.
+        config = CheckpointConfig(checkpoint_cost_hours=5.0, mtbf_hours=10.0)
+        assert optimal_interval(config) == pytest.approx(10.0)
+        below = CheckpointConfig(checkpoint_cost_hours=4.9, mtbf_hours=10.0)
+        assert optimal_interval(below) < 10.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CheckpointConfig(mtbf_hours=0.0)

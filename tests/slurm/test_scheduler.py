@@ -132,6 +132,88 @@ class TestBlackouts:
         assert schedule.jobs[0].start_time >= 86400.0
 
 
+class TestDrainSubstitution:
+    """Drain semantics the what-if engine's spare policy relies on: a job
+    already running through a blackout keeps its GPUs, while new placements
+    are substituted onto the rest of the pool."""
+
+    def _node_blackout(self, small_cluster, start, end):
+        node = [n for n in small_cluster.gpu_nodes if n.kind.value == "a100_x4"][0]
+        return node, {gpu.key: [(start, end)] for gpu in node.gpus}
+
+    def test_running_job_keeps_gpus_through_blackout(self, small_cluster):
+        # The blackout starts an hour into a four-hour job on that node:
+        # Slurm drain does not preempt, so the placement must be identical
+        # to the no-blackout schedule and occupancy must show the job
+        # running on the drained GPUs mid-blackout.
+        node, blackouts = self._node_blackout(small_cluster, 3600.0, WINDOW)
+        specs = [_spec(1, submit=0.0, gpus=4, duration=4 * 3600.0)]
+        plain = GpuScheduler(small_cluster).schedule(specs, WINDOW)
+        drained = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            specs, WINDOW
+        )
+        assert drained.jobs[0].gpus == plain.jobs[0].gpus
+        job = drained.jobs[0]
+        mid_blackout = 2 * 3600.0
+        assert all(
+            drained.occupancy.job_at(gpu, mid_blackout) == job.job_id
+            for gpu in job.gpus
+        )
+
+    def test_new_placements_substituted_onto_healthy_nodes(self, small_cluster):
+        # While the node drains, single-GPU jobs keep flowing: every one of
+        # them must land on a spare (non-drained) GPU even though the
+        # drained node's GPUs are the earliest-available by release time.
+        node, blackouts = self._node_blackout(small_cluster, 0.0, WINDOW / 2)
+        drained_keys = {gpu.key for gpu in node.gpus}
+        specs = [_spec(i, submit=float(i), gpus=1) for i in range(40)]
+        schedule = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            specs, WINDOW
+        )
+        placed_during = {
+            gpu
+            for job in schedule.jobs
+            if job.start_time < WINDOW / 2
+            for gpu in job.gpus
+        }
+        assert not placed_during & drained_keys
+        assert schedule.dropped_jobs == 0  # substitution, not rejection
+
+    def test_drained_node_returns_to_service(self, small_cluster):
+        # After the drain window closes the node takes placements again —
+        # the repaired node rejoining the pool.
+        end = 86400.0
+        node, blackouts = self._node_blackout(small_cluster, 0.0, end)
+        drained_keys = {gpu.key for gpu in node.gpus}
+        pool = GpuScheduler(small_cluster).pool_size("a100")
+        specs = [
+            _spec(i, submit=end + float(i), gpus=pool, duration=3600.0)
+            for i in range(1, 3)
+        ]
+        schedule = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            specs, WINDOW
+        )
+        placed = {gpu for job in schedule.jobs for gpu in job.gpus}
+        assert drained_keys <= placed
+
+    def test_blackout_on_whole_pool_defers_until_lifted(self, small_cluster):
+        # Degenerate spare-pool case: nothing healthy remains, so the job
+        # waits for the drain to lift rather than silently landing on a
+        # drained GPU.
+        pool = [
+            gpu.key
+            for node in small_cluster.gpu_nodes
+            if node.kind.value in ("a100_x4", "a100_x8")
+            for gpu in node.gpus
+        ]
+        lift = 7200.0
+        blackouts = {gpu: [(0.0, lift)] for gpu in pool}
+        schedule = GpuScheduler(small_cluster, blackouts=blackouts).schedule(
+            [_spec(1, submit=0.0, gpus=4)], WINDOW
+        )
+        assert schedule.jobs[0].start_time >= lift
+
+
 class TestOccupancyIndex:
     def test_job_at_lookup(self, small_cluster):
         specs = [_spec(1, submit=0.0, duration=1000.0)]
