@@ -34,6 +34,10 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p_study)
     p_study.add_argument("--dataset", type=Path, default=None,
                          help="directory written by 'synthesize' (default: in-memory)")
+    p_study.add_argument("--workers", type=int, default=None,
+                         help="processes for sharded log extraction over an "
+                         "on-disk --dataset (default: all cores; 1 forces "
+                         "the serial path; identical results either way)")
     p_study.add_argument("--h100", action="store_true",
                          help="also run the Section-6 H100 analysis")
 
@@ -149,6 +153,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    import os
+
     from repro.core import DeltaStudy, H100Analyzer
     from repro.core.report import (
         render_counterfactual,
@@ -163,16 +169,19 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.datasets import synthesize_delta, synthesize_h100
     from repro.faults import AMPERE_CALIBRATION
     from repro.slurm import SlurmDatabase
-    from repro.syslog import read_log_directory
 
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    if workers < 1:
+        print("error: --workers must be >= 1")
+        return 2
     if args.dataset is not None:
-        lines = read_log_directory(args.dataset / "logs")
         slurm_db = SlurmDatabase.load(args.dataset / "slurm.jsonl")
-        study = DeltaStudy(
-            lines,
+        study = DeltaStudy.from_log_directory(
+            args.dataset / "logs",
             window_hours=AMPERE_CALIBRATION.window_days * 24.0 * args.scale,
             n_nodes=AMPERE_CALIBRATION.reference_node_count,
             slurm_db=slurm_db,
+            workers=workers,
         )
         scale = args.scale
     else:
@@ -310,35 +319,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
-    from repro.core.streaming import StreamingCoalescer
-    from repro.fleet.tailer import iter_directory_records
+    from repro.pipeline import FileSetSource, IngestPipeline, StreamingCoalesce
     from repro.util.timeutil import format_duration, format_timestamp
 
-    # Stream file-by-file: each GPU's records live in its node's (time-
-    # ordered) file, which is all the coalescer's per-GPU contract needs.
-    # Nothing is materialized or sorted — memory stays O(open runs).
-    n_closed = 0
-
-    def _count_closed(_error) -> None:
-        nonlocal n_closed
-        n_closed += 1
-
-    coalescer = StreamingCoalescer(
-        alarm_after_seconds=args.alarm_minutes * 60.0,
-        keep_closed=False,
-        on_close=_count_closed,
-    )
-    for alarm in coalescer.feed_many(iter_directory_records(args.logs)):
+    # The same staged pipeline the batch study rides, with the streaming
+    # coalescer as the Coalesce stage: records stream through the k-way
+    # time merge (which preserves each node file's per-GPU order), alarms
+    # fire the moment an open run crosses the threshold, and
+    # keep_closed=False keeps memory O(open runs).
+    def _print_alarm(alarm) -> None:
         print(
             f"ALARM {format_timestamp(alarm.start_time)} {alarm.node_id} "
             f"{alarm.pci_bus} XID {alarm.xid}: error open for "
             f"{format_duration(alarm.open_persistence)} "
             f"({alarm.n_raw:,} duplicate lines so far)"
         )
-    coalescer.flush()
+
+    pipeline = IngestPipeline(
+        FileSetSource(args.logs),
+        coalesce=StreamingCoalesce(
+            alarm_after_seconds=args.alarm_minutes * 60.0,
+            keep_closed=False,
+            on_alarm=_print_alarm,
+        ),
+    )
+    result = pipeline.run()
     print(
-        f"stream complete: {n_closed:,} coalesced errors, "
-        f"{len(coalescer.alarms)} persistence alarms"
+        f"stream complete: {result.n_errors:,} coalesced errors, "
+        f"{len(result.alarms)} persistence alarms"
     )
     return 0
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator, List, Optional
 
 from repro.util.timeutil import parse_timestamp
@@ -65,11 +66,42 @@ def parse_line(line: str) -> Optional[RawXidRecord]:
 
 
 def iter_parse_syslog(lines: Iterable[str]) -> Iterator[RawXidRecord]:
-    """Streaming variant of :func:`parse_syslog`."""
+    """The shared record-iterator: lines in, parsed XID records out.
+
+    Every ingestion surface — the batch study, the monitor, the fleet
+    tailers, the staged pipeline — reduces to this one loop over
+    :func:`parse_line`.
+    """
     for line in lines:
         record = parse_line(line)
         if record is not None:
             yield record
+
+
+def iter_file_records(path: str | Path) -> Iterator[RawXidRecord]:
+    """Stream parsed XID records from one log file (plain or ``.gz``).
+
+    File-order iteration: per-GPU time order is preserved whenever the
+    file itself is chronological (node-local syslog is).
+    """
+    from repro.syslog.reader import iter_log_lines
+
+    return iter_parse_syslog(iter_log_lines(path))
+
+
+def iter_directory_records(directory: str | Path) -> Iterator[RawXidRecord]:
+    """Stream parsed XID records from every log file in a directory.
+
+    Files are visited in sorted order and streamed line-by-line; nothing
+    is materialized or sorted, so memory is O(1) in log volume.  Per-GPU
+    time order is preserved because each GPU's records live in one node
+    file that node-local syslog keeps chronological — exactly the
+    ordering :class:`~repro.core.streaming.StreamingCoalescer` requires.
+    """
+    from repro.syslog.reader import list_log_files
+
+    for path in list_log_files(directory):
+        yield from iter_file_records(path)
 
 
 def parse_syslog(lines: Iterable[str]) -> List[RawXidRecord]:

@@ -9,17 +9,21 @@ ground truth, so paper-vs-measured comparisons are genuine inferences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 
 from repro.core.availability import AvailabilityAnalyzer, AvailabilityReport
-from repro.core.coalesce import CoalesceConfig, CoalescedError, coalesce_errors
+from repro.core.coalesce import CoalesceConfig, CoalescedError
 from repro.core.counterfactual import CounterfactualAnalyzer, CounterfactualReport
 from repro.core.jobimpact import JobImpactAnalyzer
 from repro.core.mtbe import ErrorStatistics
-from repro.core.parsing import parse_syslog
+from repro.core.parsing import RawXidRecord
 from repro.core.persistence import PersistenceAnalyzer
 from repro.core.propagation import PropagationAnalyzer, PropagationGraph
 from repro.slurm.accounting import SlurmDatabase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.sources import Source
 
 
 @dataclass
@@ -36,24 +40,46 @@ class StudyReport:
 
 
 class DeltaStudy:
-    """Run the characterization pipeline over one dataset's observables."""
+    """Run the characterization pipeline over one dataset's observables.
+
+    Stages I and II ride :mod:`repro.pipeline` — the staged ingestion
+    pipeline shared with the monitor and the fleet health service.  The
+    first argument accepts either an iterable of raw syslog lines (the
+    historical in-memory shape) or any
+    :class:`~repro.pipeline.sources.Source`; ``workers`` shards
+    extraction across processes when the source supports it (file sets
+    do, in-memory line streams do not), and ``engine`` selects the
+    coalescing implementation — the vectorized batch fast path by
+    default, or the streaming coalescer for ordered sources (both
+    produce identical errors).
+    """
 
     def __init__(
         self,
-        log_lines: Iterable[str],
+        log_lines: Union[Iterable[str], "Source"],
         *,
         window_hours: float,
         n_nodes: int,
         slurm_db: SlurmDatabase | None = None,
         coalesce_config: CoalesceConfig | None = None,
         propagation_window: float = 60.0,
+        workers: int = 1,
+        engine: str = "vectorized",
     ) -> None:
+        from repro.pipeline.sources import LinesSource, Source
+
         self.window_hours = window_hours
         self.n_nodes = n_nodes
         self.slurm_db = slurm_db
         self.coalesce_config = coalesce_config or CoalesceConfig()
         self.propagation_window = propagation_window
-        self._raw_lines = log_lines
+        self.workers = workers
+        self.engine = engine
+        if isinstance(log_lines, Source):
+            self.source: Source = log_lines
+        else:
+            self.source = LinesSource(log_lines)
+        self._records: Optional[List[RawXidRecord]] = None
         self._errors: Optional[List[CoalescedError]] = None
 
     @classmethod
@@ -67,16 +93,54 @@ class DeltaStudy:
             **kwargs,
         )
 
+    @classmethod
+    def from_log_directory(
+        cls,
+        directory: str | Path,
+        *,
+        window_hours: float,
+        n_nodes: int,
+        slurm_db: SlurmDatabase | None = None,
+        workers: int = 1,
+        **kwargs,
+    ) -> "DeltaStudy":
+        """Build over an on-disk dataset (one log file per node).
+
+        This is the shape where ``workers > 1`` pays off: the files shard
+        across a process pool and merge back into one ordered stream.
+        """
+        from repro.pipeline.sources import FileSetSource
+
+        return cls(
+            FileSetSource(directory),
+            window_hours=window_hours,
+            n_nodes=n_nodes,
+            slurm_db=slurm_db,
+            workers=workers,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
 
     @property
+    def records(self) -> List[RawXidRecord]:
+        """Stage I: the extracted record stream (cached)."""
+        if self._records is None:
+            from repro.pipeline.extract import extract_records
+
+            self._records = extract_records(self.source, workers=self.workers)
+        return self._records
+
+    @property
     def errors(self) -> List[CoalescedError]:
-        """Stage I + II: parse then coalesce (cached)."""
+        """Stage I + II: extract then coalesce (cached)."""
         if self._errors is None:
-            records = parse_syslog(self._raw_lines)
-            self._errors = coalesce_errors(records, self.coalesce_config)
+            from repro.pipeline.stages import make_stage
+
+            stage = make_stage(self.engine, self.coalesce_config)
+            self._errors = stage.run(self.records).errors
         return self._errors
 
     def error_statistics(self) -> ErrorStatistics:

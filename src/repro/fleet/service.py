@@ -1,10 +1,13 @@
 """The fleet health service: tailers -> registry -> rules -> exposition.
 
-:class:`FleetHealthService` owns the whole live path:
+:class:`FleetHealthService` owns the whole live path, and the live path
+rides the staged ingestion pipeline (:mod:`repro.pipeline`):
 
-* a :class:`~repro.fleet.tailer.DirectoryTailer` follows the per-node log
+* a :class:`~repro.pipeline.sources.TailSource` (wrapping
+  :class:`~repro.fleet.tailer.DirectoryTailer`) follows the per-node log
   files through one bounded queue (the backpressure boundary);
-* a consumer thread feeds each record into the
+* an extract-only :class:`~repro.pipeline.engine.IngestPipeline` drives
+  the stream through a consumer that feeds each record into the
   :class:`~repro.fleet.registry.HealthRegistry` (sharded state, streaming
   coalescing with ``keep_closed=False`` — live memory stays O(open runs))
   and forwards onset/alarm facts to the
@@ -23,10 +26,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Sequence, Tuple
 
+from repro.core.parsing import RawXidRecord
 from repro.fleet.exposition import MetricsServer, render_prometheus
 from repro.fleet.registry import HealthRegistry, RiskScorer
 from repro.fleet.rules import AlertRule, AlertSink, RuleEngine, default_rules
-from repro.fleet.tailer import DirectoryTailer
+from repro.pipeline.engine import Consumer, IngestPipeline
+from repro.pipeline.sources import TailSource
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,22 @@ class FleetServiceConfig:
     #: port 0 binds an ephemeral port.
     metrics_port: Optional[int] = 0
     metrics_host: str = "127.0.0.1"
+
+
+class _RegistryFeed(Consumer):
+    """Pipeline consumer: registry ingestion + rule-engine fact routing."""
+
+    def __init__(self, service: "FleetHealthService") -> None:
+        self.service = service
+
+    def on_record(self, record: RawXidRecord) -> None:
+        service = self.service
+        result = service.registry.ingest(record)
+        service.records_ingested += 1
+        if result.onset:
+            service.engine.observe_onset(record, result.health)
+        if result.alarm is not None:
+            service.engine.observe_alarm(result.alarm)
 
 
 class FleetHealthService:
@@ -74,12 +95,16 @@ class FleetHealthService:
         self.engine = RuleEngine(
             default_rules() if rules is None else rules, sinks=sinks
         )
-        self.tailer = DirectoryTailer(
+        self.source = TailSource(
             config.logs_dir,
             queue_size=config.queue_size,
             workers=config.workers,
             poll_interval=config.poll_interval,
             from_start=config.from_start,
+        )
+        self.tailer = self.source.tailer
+        self.pipeline = IngestPipeline(
+            self.source, coalesce=None, consumers=(_RegistryFeed(self),)
         )
         self.metrics_server: Optional[MetricsServer] = None
         if config.metrics_port is not None:
@@ -122,13 +147,9 @@ class FleetHealthService:
             self.metrics_server.stop()
 
     def _consume(self) -> None:
-        for record in self.tailer.records():
-            result = self.registry.ingest(record)
-            self.records_ingested += 1
-            if result.onset:
-                self.engine.observe_onset(record, result.health)
-            if result.alarm is not None:
-                self.engine.observe_alarm(result.alarm)
+        # Extract-only pipeline run: the sharded registry owns the
+        # streaming coalescers, so the Coalesce stage lives in its shards.
+        self.pipeline.run()
 
     # ------------------------------------------------------------------
 

@@ -27,36 +27,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List
 
-from repro.core.parsing import RawXidRecord, parse_line
-from repro.syslog.reader import iter_log_lines
+from repro.core.parsing import (
+    RawXidRecord,
+    iter_directory_records,
+    iter_parse_syslog,
+)
+from repro.syslog.reader import iter_log_lines, list_log_files
+
+__all__ = [
+    "DirectoryTailer",
+    "LogTailer",
+    "TailStats",
+    "iter_directory_records",  # re-exported shared record-iterator API
+]
 
 #: Sentinel pushed once per worker when it finishes draining after a stop.
 _DONE = object()
-
-
-# ---------------------------------------------------------------------------
-# Static (batch) iteration — the repro-delta monitor path
-# ---------------------------------------------------------------------------
-
-
-def iter_directory_records(directory: str | Path) -> Iterator[RawXidRecord]:
-    """Stream parsed XID records from every log file in a directory.
-
-    Files are visited in sorted order and streamed line-by-line; nothing is
-    materialized or sorted, so memory is O(1) in log volume.  Per-GPU time
-    order is preserved because each GPU's records live in one node file
-    that node-local syslog keeps chronological — exactly the ordering
-    :class:`~repro.core.streaming.StreamingCoalescer` requires.
-    """
-    directory = Path(directory)
-    paths = sorted(
-        p for p in directory.iterdir() if p.name.endswith((".log", ".log.gz"))
-    )
-    for path in paths:
-        for line in iter_log_lines(path):
-            record = parse_line(line)
-            if record is not None:
-                yield record
 
 
 # ---------------------------------------------------------------------------
@@ -127,11 +113,7 @@ class LogTailer:
 
     def poll_records(self) -> List[RawXidRecord]:
         """Parsed XID records appended since the last poll."""
-        records = []
-        for line in self.poll_lines():
-            record = parse_line(line)
-            if record is not None:
-                records.append(record)
+        records = list(iter_parse_syslog(self.poll_lines()))
         self.stats.records_parsed += len(records)
         return records
 
@@ -236,10 +218,7 @@ class DirectoryTailer:
         """Refresh this worker's partition of the directory's files."""
         mine: List[LogTailer] = []
         try:
-            names = sorted(
-                p for p in self.directory.iterdir()
-                if p.name.endswith((".log", ".log.gz"))
-            )
+            names = list_log_files(self.directory)
         except OSError:
             return mine
         for path in names:
@@ -265,12 +244,15 @@ class DirectoryTailer:
         tailer = LogTailer(path)  # stats holder only
         with self._lock:
             self._tailers[path] = tailer
-        for line in iter_log_lines(path):
-            tailer.stats.lines_seen += 1
-            record = parse_line(line)
-            if record is not None:
-                tailer.stats.records_parsed += 1
-                self._put(record)
+
+        def _counted_lines() -> Iterator[str]:
+            for line in iter_log_lines(path):
+                tailer.stats.lines_seen += 1
+                yield line
+
+        for record in iter_parse_syslog(_counted_lines()):
+            tailer.stats.records_parsed += 1
+            self._put(record)
 
     def _put(self, record: RawXidRecord) -> None:
         """Blocking put: backpressure when the consumer falls behind."""

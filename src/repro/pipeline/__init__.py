@@ -1,0 +1,44 @@
+"""The staged ingestion pipeline: Source -> Extract -> Coalesce -> Consumers.
+
+One code path for every way records enter the system — batch file sets,
+in-memory line streams, live tails, and synthetic record streams — with
+a parallel sharded extraction front-end and interchangeable batch /
+streaming coalescing.  See ``docs/pipeline.md`` for the design.
+"""
+
+from repro.pipeline.engine import Consumer, IngestPipeline, PipelineResult
+from repro.pipeline.extract import extract_records, iter_source_records
+from repro.pipeline.sources import (
+    FileSetSource,
+    FileShard,
+    LinesSource,
+    RecordsSource,
+    Source,
+    TailSource,
+)
+from repro.pipeline.stages import (
+    CoalesceOutcome,
+    CoalesceStage,
+    StreamingCoalesce,
+    VectorizedCoalesce,
+    make_stage,
+)
+
+__all__ = [
+    "Consumer",
+    "IngestPipeline",
+    "PipelineResult",
+    "extract_records",
+    "iter_source_records",
+    "FileSetSource",
+    "FileShard",
+    "LinesSource",
+    "RecordsSource",
+    "Source",
+    "TailSource",
+    "CoalesceOutcome",
+    "CoalesceStage",
+    "StreamingCoalesce",
+    "VectorizedCoalesce",
+    "make_stage",
+]

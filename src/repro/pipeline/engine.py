@@ -1,0 +1,108 @@
+"""The staged pipeline: Source -> Extract -> Coalesce -> Consumers.
+
+:class:`IngestPipeline` is the one code path every ingestion surface
+rides.  The batch study runs a :class:`~repro.pipeline.sources.FileSetSource`
+through parallel extraction into the vectorized coalescer; the monitor
+runs the same file set through the streaming coalescer for live alarms;
+the fleet health service runs a :class:`~repro.pipeline.sources.TailSource`
+in extract-only mode (its sharded registry owns the streaming
+coalescers); simulated streams enter through
+:class:`~repro.pipeline.sources.RecordsSource`.  Fixes to extraction or
+coalescing now land on all of them at once.
+
+Consumers observe the record stream as it flows (per-GPU health
+registries, metrics counters, record sinks); the coalesce stage consumes
+the same stream after the consumers see each record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.core.coalesce import CoalesceConfig, CoalescedError
+from repro.core.parsing import RawXidRecord
+from repro.core.streaming import PersistenceAlarm
+from repro.pipeline.extract import iter_source_records
+from repro.pipeline.sources import Source
+from repro.pipeline.stages import CoalesceOutcome, CoalesceStage, make_stage
+
+
+class Consumer:
+    """Observes the record stream; override what you need."""
+
+    def on_record(self, record: RawXidRecord) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run produced."""
+
+    n_records: int
+    errors: List[CoalescedError] = field(default_factory=list)
+    n_errors: int = 0
+    alarms: List[PersistenceAlarm] = field(default_factory=list)
+
+
+class IngestPipeline:
+    """Compose a source, the extraction front-end, a coalesce stage, and
+    any number of record consumers.
+
+    ``coalesce`` is a :class:`~repro.pipeline.stages.CoalesceStage`, an
+    engine name (``"vectorized"`` / ``"streaming"``), or ``None`` for
+    extract-only runs (live services that coalesce inside their own
+    sharded state).  ``workers`` shards extraction across processes for
+    sources that support it; the record stream is identical for every
+    worker count.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        *,
+        workers: int = 1,
+        coalesce: CoalesceStage | str | None = "vectorized",
+        coalesce_config: CoalesceConfig | None = None,
+        consumers: Sequence[Consumer] = (),
+    ) -> None:
+        if isinstance(coalesce, str):
+            coalesce = make_stage(coalesce, coalesce_config)
+        elif coalesce is not None and coalesce_config is not None:
+            raise ValueError("pass coalesce_config only with an engine name")
+        self.source = source
+        self.workers = workers
+        self.coalesce = coalesce
+        self.consumers = tuple(consumers)
+        self.n_records = 0
+
+    def records(self) -> Iterator[RawXidRecord]:
+        """The extracted record stream, observed by every consumer."""
+        consumers = self.consumers
+        for record in iter_source_records(self.source, workers=self.workers):
+            self.n_records += 1
+            for consumer in consumers:
+                consumer.on_record(record)
+            yield record
+
+    def run(self) -> PipelineResult:
+        """Drain the source through every stage and bundle the result."""
+        try:
+            if self.coalesce is None:
+                for _ in self.records():
+                    pass
+                outcome = CoalesceOutcome(errors=[], n_errors=0)
+            else:
+                outcome = self.coalesce.run(self.records())
+        finally:
+            for consumer in self.consumers:
+                consumer.close()
+        return PipelineResult(
+            n_records=self.n_records,
+            errors=outcome.errors,
+            n_errors=outcome.n_errors,
+            alarms=outcome.alarms,
+        )

@@ -1,0 +1,206 @@
+"""Sources: where records enter the staged ingestion pipeline.
+
+A :class:`Source` describes *where raw records come from* and nothing
+else; Extract (:mod:`repro.pipeline.extract`) decides *how* to pull them
+out (serially or sharded over a process pool) and Coalesce
+(:mod:`repro.pipeline.stages`) turns them into errors.  Three shapes
+cover every ingestion surface in the repository:
+
+* **file sets** (:class:`FileSetSource`) — a directory or explicit list
+  of per-node syslog files, the batch-study shape.  Each file is an
+  independent *shard*: it can be parsed by any worker process, and its
+  records are time-ordered (node-local syslog is chronological), so the
+  per-shard streams k-way-merge into one globally time-ordered stream.
+* **in-memory line streams** (:class:`LinesSource`) — an iterable of raw
+  syslog text, the in-memory study and adapter shape.  One shard, no
+  ordering promise.
+* **live tails** (:class:`TailSource`) — a directory being appended to,
+  wrapped around :class:`~repro.fleet.tailer.DirectoryTailer`.  Live
+  sources have no shard list (the stream is unbounded); records arrive
+  in arrival order, which preserves per-GPU time order.
+
+:class:`RecordsSource` closes the loop for simulated streams: already-
+parsed (or synthetically generated) records enter the very same pipeline
+the batch and live paths use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.core.parsing import (
+    RawXidRecord,
+    iter_file_records,
+    iter_parse_syslog,
+)
+
+
+# ---------------------------------------------------------------------------
+# Shards: the unit of (potentially parallel) extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileShard:
+    """One log file; picklable, so worker processes can parse it."""
+
+    path: Path
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        return iter_file_records(self.path)
+
+
+class LineShard:
+    """An in-memory line iterable (single-use, not picklable)."""
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self._lines = lines
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        return iter_parse_syslog(self._lines)
+
+
+class RecordShard:
+    """Already-parsed records (synthetic streams, replayed traces)."""
+
+    def __init__(self, records: Iterable[RawXidRecord]) -> None:
+        self._records = records
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        return iter(self._records)
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+
+class Source:
+    """Base class: a description of where records come from.
+
+    Class attributes describe the contract Extract relies on:
+
+    ``live``
+        The stream is unbounded and arrives over time; there is no shard
+        list and :meth:`iter_records` blocks until the source is stopped.
+    ``parallelizable``
+        Shards are picklable and independent, so Extract may fan them
+        out over worker processes.
+    ``merge_by_time``
+        Every shard's records are individually time-ordered, so Extract
+        k-way-merges the per-shard streams into one globally
+        time-ordered stream (required for the streaming coalescer's
+        ordering contract; harmless for the batch path, which sorts).
+    """
+
+    live: bool = False
+    parallelizable: bool = False
+    merge_by_time: bool = False
+
+    def shards(self) -> Sequence[object]:
+        raise NotImplementedError
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        """Serial record stream (live sources override this)."""
+        from repro.pipeline.extract import iter_source_records
+
+        return iter_source_records(self, workers=1)
+
+
+class FileSetSource(Source):
+    """A fixed set of node log files (a directory, or explicit paths)."""
+
+    parallelizable = True
+    merge_by_time = True
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        paths: Iterable[str | Path] | None = None,
+    ) -> None:
+        if (directory is None) == (paths is None):
+            raise ValueError("pass exactly one of directory= or paths=")
+        if directory is not None:
+            from repro.syslog.reader import list_log_files
+
+            self.paths: List[Path] = list_log_files(directory)
+        else:
+            self.paths = [Path(p) for p in paths]  # caller-chosen order
+
+    def shards(self) -> Sequence[FileShard]:
+        return [FileShard(path) for path in self.paths]
+
+
+class LinesSource(Source):
+    """An in-memory iterable of raw syslog lines (one unordered shard)."""
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self._shard = LineShard(lines)
+
+    def shards(self) -> Sequence[LineShard]:
+        return [self._shard]
+
+
+class RecordsSource(Source):
+    """Already-parsed records entering the pipeline directly.
+
+    ``ordered=True`` declares the records time-ordered (a replayed trace,
+    a simulator's event stream), which lets the streaming coalescer run
+    downstream.
+    """
+
+    def __init__(
+        self, records: Iterable[RawXidRecord], *, ordered: bool = False
+    ) -> None:
+        self._shard = RecordShard(records)
+        self.merge_by_time = ordered
+
+    def shards(self) -> Sequence[RecordShard]:
+        return [self._shard]
+
+
+class TailSource(Source):
+    """Live tail of a directory of appended-to node logs.
+
+    Wraps :class:`~repro.fleet.tailer.DirectoryTailer`; the tailer's
+    bounded queue remains the backpressure boundary.  The caller owns the
+    lifecycle: :meth:`start` before consuming, :meth:`stop` to end the
+    stream (the record iterator finishes once the workers drain out).
+    """
+
+    live = True
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        queue_size: int = 4096,
+        workers: int = 2,
+        poll_interval: float = 0.05,
+        from_start: bool = True,
+    ) -> None:
+        from repro.fleet.tailer import DirectoryTailer
+
+        self.tailer = DirectoryTailer(
+            directory,
+            queue_size=queue_size,
+            workers=workers,
+            poll_interval=poll_interval,
+            from_start=from_start,
+        )
+
+    def start(self) -> "TailSource":
+        self.tailer.start()
+        return self
+
+    def stop(self) -> None:
+        self.tailer.stop()
+
+    def join(self, timeout: float | None = None) -> None:
+        self.tailer.join(timeout)
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        return self.tailer.records()

@@ -1,0 +1,133 @@
+"""Coalesce: Algorithm 1 as an interchangeable pipeline stage.
+
+Two implementations of one interface, provably equivalent (the property
+suite drives randomized streams through both and demands identical
+:class:`~repro.core.coalesce.CoalescedError` sequences):
+
+* :class:`VectorizedCoalesce` — batch Algorithm 1
+  (:func:`~repro.core.coalesce.coalesce_errors`), the numpy fast path.
+  Order-indifferent: it groups and sorts internally.
+* :class:`StreamingCoalesce` — the incremental
+  :class:`~repro.core.streaming.StreamingCoalescer`, which additionally
+  fires live persistence alarms and can run with O(open runs) memory
+  (``keep_closed=False``).  Requires per-GPU time order (window-tolerant
+  to late arrivals), which the extraction front-end's time merge
+  provides.
+
+Both sort their output by ``(time, node, bus, xid)``, so a drained
+streaming stage and a batch stage over the same records return the same
+sequence — the property the batch/live convergence rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.coalesce import CoalesceConfig, CoalescedError, coalesce_errors
+from repro.core.parsing import RawXidRecord
+from repro.core.streaming import PersistenceAlarm, StreamingCoalescer
+
+
+@dataclass
+class CoalesceOutcome:
+    """What one coalescing pass produced.
+
+    ``errors`` is empty when a streaming stage runs with
+    ``keep_closed=False`` (the errors went to ``on_close``); ``n_errors``
+    counts them either way.
+    """
+
+    errors: List[CoalescedError]
+    n_errors: int
+    alarms: List[PersistenceAlarm] = field(default_factory=list)
+
+
+class CoalesceStage:
+    """Interface: records in, :class:`CoalesceOutcome` out."""
+
+    name: str = "abstract"
+
+    def run(self, records: Iterable[RawXidRecord]) -> CoalesceOutcome:
+        raise NotImplementedError
+
+
+class VectorizedCoalesce(CoalesceStage):
+    """Batch Algorithm 1 — the vectorized numpy fast path."""
+
+    name = "vectorized"
+
+    def __init__(self, config: CoalesceConfig | None = None) -> None:
+        self.config = config or CoalesceConfig()
+
+    def run(self, records: Iterable[RawXidRecord]) -> CoalesceOutcome:
+        errors = coalesce_errors(records, self.config)
+        return CoalesceOutcome(errors=errors, n_errors=len(errors))
+
+
+class StreamingCoalesce(CoalesceStage):
+    """Incremental Algorithm 1 with live persistence alarms.
+
+    ``on_alarm`` fires the moment an open run crosses
+    ``alarm_after_seconds`` — while the stream is still being consumed,
+    which is the entire point of the live path.  ``keep_closed=False``
+    plus an ``on_close`` callback keeps memory O(open runs) for
+    unbounded streams.
+    """
+
+    name = "streaming"
+
+    def __init__(
+        self,
+        config: CoalesceConfig | None = None,
+        *,
+        alarm_after_seconds: float = 600.0,
+        keep_closed: bool = True,
+        on_open: Optional[Callable[[RawXidRecord], None]] = None,
+        on_close: Optional[Callable[[CoalescedError], None]] = None,
+        on_alarm: Optional[Callable[[PersistenceAlarm], None]] = None,
+    ) -> None:
+        self.config = config or CoalesceConfig()
+        self.alarm_after_seconds = alarm_after_seconds
+        self.keep_closed = keep_closed
+        self.on_open = on_open
+        self.on_close = on_close
+        self.on_alarm = on_alarm
+
+    def run(self, records: Iterable[RawXidRecord]) -> CoalesceOutcome:
+        n_closed = 0
+
+        def _count_closed(error: CoalescedError) -> None:
+            nonlocal n_closed
+            n_closed += 1
+            if self.on_close is not None:
+                self.on_close(error)
+
+        coalescer = StreamingCoalescer(
+            window_seconds=self.config.window_seconds,
+            max_persistence=self.config.max_persistence,
+            alarm_after_seconds=self.alarm_after_seconds,
+            keep_closed=self.keep_closed,
+            on_open=self.on_open,
+            on_close=_count_closed,
+        )
+        for alarm in coalescer.feed_many(records):
+            if self.on_alarm is not None:
+                self.on_alarm(alarm)
+        errors = coalescer.flush()
+        return CoalesceOutcome(
+            errors=errors, n_errors=n_closed, alarms=list(coalescer.alarms)
+        )
+
+
+def make_stage(
+    engine: str, config: CoalesceConfig | None = None, **kwargs
+) -> CoalesceStage:
+    """Build a stage by name (``"vectorized"`` or ``"streaming"``)."""
+    if engine == "vectorized":
+        if kwargs:
+            raise ValueError(f"vectorized stage takes no options, got {kwargs}")
+        return VectorizedCoalesce(config)
+    if engine == "streaming":
+        return StreamingCoalesce(config, **kwargs)
+    raise ValueError(f"unknown coalesce engine {engine!r}")

@@ -12,7 +12,12 @@ from repro.syslog.format import (
     render_trace,
 )
 from repro.syslog.noise import NoiseConfig, generate_noise_lines
-from repro.syslog.reader import iter_log_lines, read_log_directory
+from repro.syslog.reader import (
+    LOG_SUFFIXES,
+    iter_log_lines,
+    list_log_files,
+    read_log_directory,
+)
 from repro.syslog.writer import write_node_logs
 
 __all__ = [
@@ -22,7 +27,9 @@ __all__ = [
     "render_trace",
     "NoiseConfig",
     "generate_noise_lines",
+    "LOG_SUFFIXES",
     "iter_log_lines",
+    "list_log_files",
     "read_log_directory",
     "write_node_logs",
 ]

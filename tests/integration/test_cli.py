@@ -21,6 +21,23 @@ class TestCli:
         assert "Figure 5" in out
         assert "Section 5.5" in out
 
+    def test_study_dataset_with_workers(self, tmp_path, capsys):
+        out_dir = tmp_path / "data"
+        main(["synthesize", str(out_dir), "--scale", "0.004", "--seed", "3"])
+        capsys.readouterr()
+        assert main(["study", "--dataset", str(out_dir), "--workers", "2",
+                     "--scale", "0.004"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["study", "--dataset", str(out_dir), "--workers", "1",
+                     "--scale", "0.004"]) == 0
+        serial = capsys.readouterr().out
+        assert "Table 1" in parallel
+        assert parallel == serial  # worker count never changes the report
+
+    def test_study_rejects_nonpositive_workers(self, capsys):
+        assert main(["study", "--scale", "0.004", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().out
+
     def test_overprovision(self, capsys):
         assert main(["overprovision", "--nodes", "200", "--seed", "3"]) == 0
         out = capsys.readouterr().out

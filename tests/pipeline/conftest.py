@@ -1,0 +1,14 @@
+"""Pipeline-suite fixtures: the shared dataset written out as node logs."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def logs_dir(dataset, tmp_path_factory):
+    """The shared multi-node dataset as on-disk per-node log files."""
+    directory = tmp_path_factory.mktemp("pipeline-logs") / "logs"
+    paths = dataset.write_logs(directory)
+    assert len(paths) > 4  # genuinely multi-node
+    return directory

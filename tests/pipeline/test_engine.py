@@ -1,0 +1,104 @@
+"""IngestPipeline: stage composition, engine parity, consumers."""
+
+import pytest
+
+from repro.core.coalesce import CoalesceConfig
+from repro.pipeline import (
+    Consumer,
+    FileSetSource,
+    IngestPipeline,
+    StreamingCoalesce,
+    VectorizedCoalesce,
+    make_stage,
+)
+
+
+def _key(e):
+    return (e.time, e.node_id, e.pci_bus, e.xid, round(e.persistence, 9), e.n_raw)
+
+
+class TestEngineParity:
+    """The tentpole contract: batch coalescing over the merged stream is
+    identical to draining the streaming coalescer over the same stream."""
+
+    def test_vectorized_equals_streaming_on_files(self, logs_dir):
+        vec = IngestPipeline(FileSetSource(logs_dir), coalesce="vectorized").run()
+        stream = IngestPipeline(FileSetSource(logs_dir), coalesce="streaming").run()
+        assert vec.n_records == stream.n_records
+        assert [_key(e) for e in vec.errors] == [_key(e) for e in stream.errors]
+        assert vec.n_errors == stream.n_errors == len(vec.errors)
+
+    def test_parallel_extraction_same_errors(self, logs_dir):
+        serial = IngestPipeline(FileSetSource(logs_dir), workers=1).run()
+        parallel = IngestPipeline(FileSetSource(logs_dir), workers=3).run()
+        assert [_key(e) for e in serial.errors] == [_key(e) for e in parallel.errors]
+
+    def test_coalesce_config_threads_through(self, logs_dir):
+        narrow = IngestPipeline(FileSetSource(logs_dir)).run()
+        wide = IngestPipeline(
+            FileSetSource(logs_dir),
+            coalesce="vectorized",
+            coalesce_config=CoalesceConfig(window_seconds=600.0),
+        ).run()
+        assert len(wide.errors) < len(narrow.errors)
+
+
+class TestStreamingStage:
+    def test_alarms_and_memory_bounded_mode(self, logs_dir):
+        seen = []
+        stage = StreamingCoalesce(
+            alarm_after_seconds=600.0, keep_closed=False, on_alarm=seen.append
+        )
+        result = IngestPipeline(FileSetSource(logs_dir), coalesce=stage).run()
+        assert result.errors == []  # keep_closed=False: nothing retained
+        assert result.n_errors > 0
+        assert result.alarms == seen
+        # The shared dataset contains offender episodes long enough to alarm.
+        assert len(seen) > 0
+
+    def test_on_close_sees_every_error(self, logs_dir):
+        closed = []
+        stage = StreamingCoalesce(keep_closed=True, on_close=closed.append)
+        result = IngestPipeline(FileSetSource(logs_dir), coalesce=stage).run()
+        assert len(closed) == result.n_errors == len(result.errors)
+
+
+class TestConsumersAndModes:
+    def test_consumers_observe_every_record_and_close(self, logs_dir):
+        class Counter(Consumer):
+            def __init__(self):
+                self.n = 0
+                self.closed = False
+
+            def on_record(self, record):
+                self.n += 1
+
+            def close(self):
+                self.closed = True
+
+        counter = Counter()
+        result = IngestPipeline(
+            FileSetSource(logs_dir), coalesce=None, consumers=(counter,)
+        ).run()
+        assert counter.n == result.n_records > 0
+        assert counter.closed
+        assert result.errors == [] and result.n_errors == 0
+
+    def test_records_iterator_counts(self, logs_dir):
+        pipeline = IngestPipeline(FileSetSource(logs_dir), coalesce=None)
+        n = sum(1 for _ in pipeline.records())
+        assert pipeline.n_records == n > 0
+
+    def test_rejects_config_with_prebuilt_stage(self, logs_dir):
+        with pytest.raises(ValueError):
+            IngestPipeline(
+                FileSetSource(logs_dir),
+                coalesce=VectorizedCoalesce(),
+                coalesce_config=CoalesceConfig(),
+            )
+
+    def test_make_stage_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            make_stage("quantum")
+        with pytest.raises(ValueError):
+            make_stage("vectorized", keep_closed=False)

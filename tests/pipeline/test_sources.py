@@ -1,0 +1,90 @@
+"""Sources: shard exposure, ordering declarations, record iteration."""
+
+import gzip
+
+import pytest
+
+from repro.core.parsing import RawXidRecord
+from repro.pipeline.sources import (
+    FileSetSource,
+    LinesSource,
+    RecordsSource,
+    TailSource,
+)
+
+LINE = (
+    "2022-03-14T02:11:09.113 gpub042 kernel: NVRM: Xid (PCI:0000:C7:00): "
+    "79, pid=8821, GPU has fallen off the bus"
+)
+
+
+def _record(t: float, node: str = "n1") -> RawXidRecord:
+    return RawXidRecord(time=t, node_id=node, pci_bus="p1", xid=79, message="m")
+
+
+class TestFileSetSource:
+    def test_lists_directory_files_sorted(self, logs_dir):
+        source = FileSetSource(logs_dir)
+        assert source.paths == sorted(source.paths)
+        assert all(p.name.endswith(".log") for p in source.paths)
+        assert len(source.shards()) == len(source.paths)
+
+    def test_explicit_paths_keep_caller_order(self, tmp_path):
+        a = tmp_path / "b.log"
+        b = tmp_path / "a.log"
+        for path in (a, b):
+            path.write_text(LINE + "\n")
+        source = FileSetSource(paths=[a, b])
+        assert [p.name for p in source.paths] == ["b.log", "a.log"]
+
+    def test_requires_exactly_one_of_directory_or_paths(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileSetSource()
+        with pytest.raises(ValueError):
+            FileSetSource(tmp_path, paths=[])
+
+    def test_reads_gzip_files(self, tmp_path):
+        path = tmp_path / "node.log.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(LINE + "\n")
+        records = list(FileSetSource(tmp_path).iter_records())
+        assert len(records) == 1 and records[0].xid == 79
+
+    def test_declares_parallel_time_ordered(self):
+        assert FileSetSource.parallelizable
+        assert FileSetSource.merge_by_time
+        assert not FileSetSource.live
+
+
+class TestLinesSource:
+    def test_parses_lines(self):
+        records = list(LinesSource([LINE, "noise line", LINE]).iter_records())
+        assert len(records) == 2
+
+    def test_single_unordered_shard(self):
+        source = LinesSource([LINE])
+        assert len(source.shards()) == 1
+        assert not source.merge_by_time
+        assert not source.parallelizable
+
+
+class TestRecordsSource:
+    def test_passes_records_through(self):
+        records = [_record(1.0), _record(2.0)]
+        assert list(RecordsSource(records).iter_records()) == records
+
+    def test_ordered_flag_enables_time_merge_declaration(self):
+        assert RecordsSource([], ordered=True).merge_by_time
+        assert not RecordsSource([]).merge_by_time
+
+
+class TestTailSource:
+    def test_streams_live_appends(self, tmp_path):
+        source = TailSource(tmp_path, poll_interval=0.01)
+        assert source.live
+        (tmp_path / "n1.log").write_text(LINE + "\n")
+        source.start()
+        source.stop()
+        records = list(source.iter_records())
+        source.join(timeout=5.0)
+        assert len(records) == 1 and records[0].node_id == "gpub042"
