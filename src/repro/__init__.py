@@ -51,9 +51,20 @@ from repro.faults import (
     InjectorConfig,
     Xid,
 )
+from repro.results import (
+    ExperimentResult,
+    Metric,
+    PaperExpectation,
+    ResultTable,
+    RunManifest,
+    Tolerance,
+    VerificationReport,
+    verify_result,
+    verify_results,
+)
 from repro.slurm import SlurmDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterInventory",
@@ -85,6 +96,15 @@ __all__ = [
     "FaultInjector",
     "InjectorConfig",
     "Xid",
+    "ExperimentResult",
+    "Metric",
+    "PaperExpectation",
+    "ResultTable",
+    "RunManifest",
+    "Tolerance",
+    "VerificationReport",
+    "verify_result",
+    "verify_results",
     "SlurmDatabase",
     "__version__",
 ]

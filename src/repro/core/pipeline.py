@@ -60,6 +60,7 @@ class DeltaStudy:
         *,
         window_hours: float,
         n_nodes: int,
+        n_gpus: Optional[int] = None,
         slurm_db: SlurmDatabase | None = None,
         coalesce_config: CoalesceConfig | None = None,
         propagation_window: float = 60.0,
@@ -70,6 +71,9 @@ class DeltaStudy:
 
         self.window_hours = window_hours
         self.n_nodes = n_nodes
+        #: GPU population of the monitored partition (spatial analyses);
+        #: ``None`` when the source does not describe its inventory.
+        self.n_gpus = n_gpus
         self.slurm_db = slurm_db
         self.coalesce_config = coalesce_config or CoalesceConfig()
         self.propagation_window = propagation_window
@@ -89,6 +93,7 @@ class DeltaStudy:
             dataset.log_lines(),
             window_hours=dataset.window_seconds / 3600.0,
             n_nodes=dataset.reference_node_count,
+            n_gpus=dataset.reference_gpu_count,
             slurm_db=dataset.slurm_db,
             **kwargs,
         )

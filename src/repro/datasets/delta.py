@@ -81,6 +81,16 @@ class DeltaDataset:
     def reference_node_count(self) -> int:
         return self.profile.reference_node_count
 
+    @property
+    def reference_gpu_count(self) -> int:
+        """GPU population of the partition this dataset models (mirrors
+        the injector's Ampere-vs-Hopper node selection)."""
+        if self.profile.name.endswith("h100"):
+            nodes = self.cluster.hopper_nodes
+        else:
+            nodes = self.cluster.ampere_nodes
+        return sum(len(node.gpus) for node in nodes)
+
     # -- observables ------------------------------------------------------
 
     def log_lines(self, *, include_noise: bool = True) -> Iterator[str]:

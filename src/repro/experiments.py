@@ -1,18 +1,45 @@
 """Experiment registry: every paper table/figure as a named, runnable unit.
 
 ``EXPERIMENTS`` maps experiment IDs (``table1``, ``fig5``, ...) to runners
-that take a prepared :class:`~repro.core.pipeline.DeltaStudy` (plus scale)
-and return rendered text.  The CLI exposes them as
-``repro-delta experiment <id>``; DESIGN.md's experiment index is the prose
-version of this table.
+that take an :class:`ExperimentContext` (a prepared
+:class:`~repro.core.pipeline.DeltaStudy` plus the run's scale/seed/workers)
+and return a structured
+:class:`~repro.results.artifact.ExperimentResult` — named metrics with
+paper tolerance bands, typed tables, and a :class:`RunManifest` recording
+provenance.  The CLI exposes them as ``repro-delta experiment <id>`` (text
+or JSON) and ``repro-delta verify`` gates the tolerance-annotated subset;
+DESIGN.md's experiment index is the prose version of this table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.pipeline import DeltaStudy
+from repro.results.artifact import (
+    ExperimentResult,
+    Metric,
+    ResultTable,
+    RunManifest,
+    config_digest,
+)
+
+#: The scale the default CLI study runs at; Section 6's H100 dataset has no
+#: scale knob of its own, so runners normalize the caller's scale against
+#: this reference (``scale == DEFAULT_STUDY_SCALE`` maps to the full H100
+#: window).
+DEFAULT_STUDY_SCALE = 0.05
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Everything a runner needs: the study plus run provenance."""
+
+    study: DeltaStudy
+    scale: float = 1.0
+    seed: int = 7
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -20,141 +47,211 @@ class Experiment:
     identifier: str
     paper_artifact: str
     description: str
-    runner: Callable[[DeltaStudy, float], str]
+    runner: Callable[[ExperimentContext], ExperimentResult]
     needs_jobs: bool = True
+    #: Whether the experiment carries tolerance-annotated metrics that
+    #: ``repro-delta verify`` should gate on.
+    verified: bool = False
 
 
-def _table1(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_table1
+def _table1(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import table1_result
     from repro.faults.calibration import AMPERE_CALIBRATION
 
-    return render_table1(study.error_statistics(), AMPERE_CALIBRATION, scale=scale)
+    return table1_result(
+        ctx.study.error_statistics(), AMPERE_CALIBRATION, scale=ctx.scale
+    )
 
 
-def _table2(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_table2
+def _table2(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import table2_result
 
-    return render_table2(study.job_impact())
-
-
-def _table3(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_table3
-
-    return render_table3(study.job_impact())
+    return table2_result(ctx.study.job_impact(), scale=ctx.scale)
 
 
-def _fig5(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_figure5
+def _table3(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import table3_result
 
-    return render_figure5(study.propagation())
-
-
-def _fig6(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_figure6
-
-    return render_figure6(study.propagation())
+    return table3_result(ctx.study.job_impact())
 
 
-def _fig7(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_figure7
+def _fig5(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import figure5_result
 
-    return render_figure7(study.propagation())
-
-
-def _fig9(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_figure9
-
-    return render_figure9(study.job_impact(), study.availability())
+    return figure5_result(ctx.study.propagation())
 
 
-def _overprovision(study: DeltaStudy, scale: float) -> str:
+def _fig6(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import figure6_result
+
+    return figure6_result(ctx.study.propagation(), scale=ctx.scale)
+
+
+def _fig7(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import figure7_result
+
+    return figure7_result(ctx.study.propagation())
+
+
+def _fig9(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import figure9_result
+
+    return figure9_result(
+        ctx.study.job_impact(), ctx.study.availability(), scale=ctx.scale
+    )
+
+
+def _overprovision(ctx: ExperimentContext) -> ExperimentResult:
     from repro.core.overprovision import OverprovisionConfig, OverprovisionSimulator
-    from repro.core.report import render_overprovision
+    from repro.core.report import overprovision_result
 
-    simulator = OverprovisionSimulator(OverprovisionConfig(n_trials=3))
-    return render_overprovision(
+    # More window means more Monte-Carlo budget; the floor of 3 trials keeps
+    # the default-scale run identical to the historical output.
+    config = OverprovisionConfig(
+        n_trials=max(3, round(3 * ctx.scale / DEFAULT_STUDY_SCALE)),
+        seed=ctx.seed,
+    )
+    simulator = OverprovisionSimulator(config)
+    result = overprovision_result(
         simulator.sweep(recovery_minutes=(5.0, 10.0, 20.0, 40.0),
                         availabilities=(0.995, 0.9987))
     )
+    return result.with_manifest(
+        RunManifest(run_id="", config_hashes={"overprovision": config_digest(config)})
+    )
 
 
-def _counterfactual(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_counterfactual
+def _counterfactual(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import counterfactual_result
 
-    return render_counterfactual(study.counterfactual().analyze())
+    return counterfactual_result(ctx.study.counterfactual().analyze())
 
 
-def _spatial(study: DeltaStudy, scale: float) -> str:
-    from repro.core.report import render_spatial
+def _spatial(ctx: ExperimentContext) -> ExperimentResult:
+    from repro.core.report import spatial_result
     from repro.core.spatial import SpatialAnalyzer
 
-    return render_spatial(SpatialAnalyzer(study.error_statistics().errors, n_gpus=848))
+    # GPU population from the study's inventory (falls back to the paper's
+    # 848 Ampere GPUs when the study was built without one).
+    n_gpus = ctx.study.n_gpus if ctx.study.n_gpus is not None else 848
+    return spatial_result(
+        SpatialAnalyzer(ctx.study.error_statistics().errors, n_gpus=n_gpus)
+    )
 
 
-def _h100(study: DeltaStudy, scale: float) -> str:
+def _h100(ctx: ExperimentContext) -> ExperimentResult:
     # Section 6 has its own dataset (the GH200 partition after Aug 2024);
-    # the passed Ampere study is intentionally unused.
+    # the passed Ampere study is intentionally unused beyond provenance.
     from repro.core.h100 import H100Analyzer
+    from repro.core.report import _metric
     from repro.datasets import synthesize_h100
 
-    h100_study = DeltaStudy.from_dataset(synthesize_h100(seed=7))
+    h100_scale = ctx.scale / DEFAULT_STUDY_SCALE
+    h100_study = DeltaStudy.from_dataset(
+        synthesize_h100(scale=h100_scale, seed=ctx.seed)
+    )
     report = H100Analyzer(h100_study.error_statistics()).report()
-    return (
-        "Section 6 - emerging H100 errors\n"
-        f"  counts: {report.counts}\n"
-        "          (paper: 18 MMU, 10 DBE, 5 RRF, 9 contained, 70 XID-136)\n"
-        f"  MTBE  : {report.mtbe_node_hours:,.0f} node-hours (paper 4,114)\n"
-        f"  DBE/RRF-without-RRE anomaly: {report.has_remap_anomaly}"
+    counts_table = ResultTable(
+        title="Per-XID counts",
+        headers=("XID", "Count"),
+        rows=tuple((int(xid), int(count))
+                   for xid, count in sorted(report.counts.items())),
+    )
+    metrics = (
+        _metric("mtbe_node_hours", float(report.mtbe_node_hours),
+                "sec6.mtbe_node_hours", unit="node-hours"),
+        _metric("xid136_count", int(report.xid136_count),
+                "sec6.xid136_count", scale=h100_scale),
+        _metric("has_remap_anomaly", bool(report.has_remap_anomaly),
+                "sec6.has_remap_anomaly"),
+        _metric("rre_count", int(report.rre_count)),
+        _metric("dbe_count", int(report.dbe_count)),
+        _metric("rrf_count", int(report.rrf_count)),
+    )
+    return ExperimentResult(
+        experiment_id="sec6",
+        paper_artifact="Section 6",
+        title="Section 6 - emerging H100 errors",
+        renderer="h100",
+        metrics=metrics,
+        tables=(counts_table,),
     )
 
 
-def _sim_table(rows: "List[tuple[str, dict]]", axis: str) -> str:
-    lines = [
-        f"  {axis:<22} {'goodput':>9} {'ettr h':>8} {'wasted GPU-h':>13} {'done':>6}"
-    ]
-    for label, aggregate in rows:
-        lines.append(
-            f"  {label:<22} {aggregate['goodput']['mean']:>9.3f} "
-            f"{aggregate['ettr_hours']['mean']:>8.2f} "
-            f"{aggregate['wasted_gpu_hours']['mean']:>13.0f} "
-            f"{aggregate['completed_fraction']:>6.2f}"
-        )
-    return "\n".join(lines)
+def _sim_result(
+    identifier: str,
+    paper_artifact: str,
+    title: str,
+    axis: str,
+    rows: "List[Tuple[str, dict]]",
+    hashes: Dict[str, str],
+) -> ExperimentResult:
+    table = ResultTable(
+        title=title,
+        headers=(axis, "goodput", "ettr_hours", "wasted_gpu_hours",
+                 "completed_fraction"),
+        rows=tuple(
+            (
+                str(label),
+                float(aggregate["goodput"]["mean"]),
+                float(aggregate["ettr_hours"]["mean"]),
+                float(aggregate["wasted_gpu_hours"]["mean"]),
+                float(aggregate["completed_fraction"]),
+            )
+            for label, aggregate in rows
+        ),
+    )
+    metrics = tuple(
+        Metric(name=f"goodput.{label}", value=float(aggregate["goodput"]["mean"]))
+        for label, aggregate in rows
+    )
+    return ExperimentResult(
+        experiment_id=identifier,
+        paper_artifact=paper_artifact,
+        title=title,
+        renderer="sim_table",
+        metrics=metrics,
+        tables=(table,),
+    ).with_manifest(RunManifest(run_id="", config_hashes=hashes))
 
 
-def _sim_policies(study: DeltaStudy, scale: float) -> str:
+def _sim_policies(ctx: ExperimentContext) -> ExperimentResult:
     from repro.sim import SweepConfig, run_sweep
 
     rows = []
+    hashes: Dict[str, str] = {}
     for policy in ("none", "ckpt", "spare:4", "elastic"):
-        result = run_sweep(
-            SweepConfig(scenario="a100-256", policy=policy, replicas=3,
-                        seed=7, n_gpus=128, useful_hours=24.0)
-        )
+        config = SweepConfig(scenario="a100-256", policy=policy, replicas=3,
+                             seed=ctx.seed, n_gpus=128, useful_hours=24.0)
+        result = run_sweep(config)
+        hashes[f"sweep.{policy}"] = result.config_hash
         rows.append((policy, result.aggregate))
-    return (
-        "What-if: recovery policies, 128-GPU day-long job, Ampere fleet\n"
-        + _sim_table(rows, "policy")
+    return _sim_result(
+        "sim.policies", "Section 5 (what-if)",
+        "What-if: recovery policies, 128-GPU day-long job, Ampere fleet",
+        "policy", rows, hashes,
     )
 
 
-def _sim_fleets(study: DeltaStudy, scale: float) -> str:
+def _sim_fleets(ctx: ExperimentContext) -> ExperimentResult:
     from repro.sim import SweepConfig, run_sweep
 
     rows = []
+    hashes: Dict[str, str] = {}
     for scenario in ("a100-256", "h100-256", "a100-512-no-xid79"):
-        result = run_sweep(
-            SweepConfig(scenario=scenario, policy="spare:2", replicas=3,
-                        seed=7, n_gpus=128, useful_hours=24.0)
-        )
+        config = SweepConfig(scenario=scenario, policy="spare:2", replicas=3,
+                             seed=ctx.seed, n_gpus=128, useful_hours=24.0)
+        result = run_sweep(config)
+        hashes[f"sweep.{scenario}"] = result.config_hash
         rows.append((scenario, result.aggregate))
-    return (
-        "What-if: fleets under hot-spare recovery (128 GPUs, 24 h useful)\n"
-        + _sim_table(rows, "scenario")
+    return _sim_result(
+        "sim.fleets", "Section 5.5/6 (what-if)",
+        "What-if: fleets under hot-spare recovery (128 GPUs, 24 h useful)",
+        "scenario", rows, hashes,
     )
 
 
-def _pipeline_parity(study: DeltaStudy, scale: float) -> str:
+def _pipeline_parity(ctx: ExperimentContext) -> ExperimentResult:
     """Methodology check: batch and streaming Coalesce stages agree.
 
     Runs the study's extracted records (sorted into the time order the
@@ -163,8 +260,10 @@ def _pipeline_parity(study: DeltaStudy, scale: float) -> str:
     error sequences and Table-1 headline statistics.
     """
     from repro.core.mtbe import ErrorStatistics
+    from repro.core.report import _metric
     from repro.pipeline.stages import StreamingCoalesce, VectorizedCoalesce
 
+    study = ctx.study
     records = sorted(
         study.records, key=lambda r: (r.time, r.node_id, r.pci_bus, r.xid)
     )
@@ -181,24 +280,33 @@ def _pipeline_parity(study: DeltaStudy, scale: float) -> str:
         name: ErrorStatistics(out.errors, study.window_hours, study.n_nodes)
         for name, out in (("batch", batch), ("streaming", stream))
     }
-    lines = ["Unified pipeline: Coalesce-stage parity (Algorithm 1)"]
-    lines.append(f"  raw records           : {len(records):,}")
-    for name, s in stats.items():
-        lines.append(
-            f"  {name:<10} errors     : {s.total_count:,}  "
-            f"(MTBE {s.overall_mtbe_node_hours():,.0f} node-hours)"
-        )
-    lines.append(f"  sequences identical   : {identical}")
-    lines.append(f"  streaming alarms seen : {len(stream.alarms)}")
-    return "\n".join(lines)
+    metrics = (
+        _metric("raw_records", len(records)),
+        _metric("batch_errors", int(stats["batch"].total_count)),
+        _metric("batch_mtbe_node_hours",
+                float(stats["batch"].overall_mtbe_node_hours())),
+        _metric("streaming_errors", int(stats["streaming"].total_count)),
+        _metric("streaming_mtbe_node_hours",
+                float(stats["streaming"].overall_mtbe_node_hours())),
+        _metric("sequences_identical", bool(identical),
+                "pipeline.parity.sequences_identical"),
+        _metric("streaming_alarms", len(stream.alarms)),
+    )
+    return ExperimentResult(
+        experiment_id="pipeline.parity",
+        paper_artifact="Section 3.2 (methodology)",
+        title="Unified pipeline: Coalesce-stage parity (Algorithm 1)",
+        renderer="pipeline_parity",
+        metrics=metrics,
+    )
 
 
-def _generations(study: DeltaStudy, scale: float) -> str:
+def _generations(ctx: ExperimentContext) -> ExperimentResult:
     from repro.core.comparison import GenerationComparison
-    from repro.core.report import render_generations
+    from repro.core.report import generations_result
 
-    return render_generations(
-        GenerationComparison(study.error_statistics(), study.propagation())
+    return generations_result(
+        GenerationComparison(ctx.study.error_statistics(), ctx.study.propagation())
     )
 
 
@@ -206,27 +314,36 @@ EXPERIMENTS: Dict[str, Experiment] = {
     e.identifier: e
     for e in (
         Experiment("table1", "Table 1",
-                   "per-XID counts, MTBE, persistence", _table1, needs_jobs=False),
+                   "per-XID counts, MTBE, persistence", _table1,
+                   needs_jobs=False, verified=True),
         Experiment("table2", "Table 2",
-                   "job-failure probability per XID", _table2),
+                   "job-failure probability per XID", _table2, verified=True),
         Experiment("table3", "Table 3",
-                   "job distribution and elapsed statistics", _table3),
+                   "job distribution and elapsed statistics", _table3,
+                   verified=True),
         Experiment("fig5", "Figure 5",
-                   "intra-GPU hardware propagation", _fig5, needs_jobs=False),
+                   "intra-GPU hardware propagation", _fig5,
+                   needs_jobs=False, verified=True),
         Experiment("fig6", "Figure 6",
-                   "NVLink propagation and involvement", _fig6, needs_jobs=False),
+                   "NVLink propagation and involvement", _fig6,
+                   needs_jobs=False, verified=True),
         Experiment("fig7", "Figure 7",
-                   "DBE recovery tree", _fig7, needs_jobs=False),
+                   "DBE recovery tree", _fig7, needs_jobs=False, verified=True),
         Experiment("fig9", "Figure 9",
-                   "job impact, errors-vs-duration, unavailability", _fig9),
+                   "job impact, errors-vs-duration, unavailability", _fig9,
+                   verified=True),
         Experiment("sec5.4", "Section 5.4",
-                   "overprovisioning projection", _overprovision, needs_jobs=False),
+                   "overprovisioning projection", _overprovision,
+                   needs_jobs=False, verified=True),
         Experiment("sec5.5", "Section 5.5",
-                   "counterfactual improvements", _counterfactual, needs_jobs=False),
+                   "counterfactual improvements", _counterfactual,
+                   needs_jobs=False, verified=True),
         Experiment("sec4.2iii", "Section 4.2 (iii)",
-                   "spatial concentration / offenders", _spatial, needs_jobs=False),
+                   "spatial concentration / offenders", _spatial,
+                   needs_jobs=False, verified=True),
         Experiment("sec6", "Section 6",
-                   "emerging H100 errors (own dataset)", _h100, needs_jobs=False),
+                   "emerging H100 errors (own dataset)", _h100,
+                   needs_jobs=False, verified=True),
         Experiment("sec7", "Section 7",
                    "generational comparison", _generations, needs_jobs=False),
         Experiment("sim.policies", "Section 5 (what-if)",
@@ -237,9 +354,31 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    _sim_fleets, needs_jobs=False),
         Experiment("pipeline.parity", "Section 3.2 (methodology)",
                    "batch vs streaming Algorithm-1 stage identity",
-                   _pipeline_parity, needs_jobs=False),
+                   _pipeline_parity, needs_jobs=False, verified=True),
     )
 }
+
+
+def _build_manifest(
+    identifier: str, ctx: ExperimentContext, extra_hashes: Dict[str, str]
+) -> RunManifest:
+    from repro import __version__
+
+    study = ctx.study
+    hashes = {"coalesce": config_digest(study.coalesce_config)}
+    hashes.update(extra_hashes)
+    return RunManifest(
+        run_id=f"{identifier}@scale{ctx.scale:g}-seed{ctx.seed}",
+        seed=ctx.seed,
+        scale=ctx.scale,
+        workers=ctx.workers,
+        window_hours=float(study.window_hours),
+        n_nodes=int(study.n_nodes),
+        n_gpus=int(study.n_gpus) if study.n_gpus is not None else None,
+        engine=study.engine,
+        config_hashes=hashes,
+        package_version=__version__,
+    )
 
 
 def run_experiment(
@@ -247,16 +386,32 @@ def run_experiment(
     study: DeltaStudy,
     *,
     scale: float = 1.0,
-) -> str:
-    """Run one registered experiment against a prepared study."""
+    seed: int = 7,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Run one registered experiment against a prepared study.
+
+    Returns the structured result with its :class:`RunManifest` attached;
+    call :meth:`ExperimentResult.render_text` for the paper-style report.
+    """
     experiment = EXPERIMENTS.get(identifier)
     if experiment is None:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {identifier!r}; known: {known}")
     if experiment.needs_jobs and study.slurm_db is None:
         raise ValueError(f"experiment {identifier!r} needs a Slurm database")
-    return experiment.runner(study, scale)
+    ctx = ExperimentContext(study=study, scale=scale, seed=seed, workers=workers)
+    result = experiment.runner(ctx)
+    # Runners may attach a partial manifest carrying extra config hashes
+    # (sweep digests, simulator configs); fold those into the full one.
+    extra = dict(result.manifest.config_hashes) if result.manifest else {}
+    return result.with_manifest(_build_manifest(identifier, ctx, extra))
 
 
 def list_experiments() -> List[Experiment]:
     return sorted(EXPERIMENTS.values(), key=lambda e: e.identifier)
+
+
+def verified_experiments() -> List[Experiment]:
+    """The tolerance-annotated subset ``repro-delta verify`` gates on."""
+    return [e for e in list_experiments() if e.verified]

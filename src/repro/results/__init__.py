@@ -1,0 +1,51 @@
+"""Structured experiment artifacts, renderers, and paper-fidelity gates.
+
+* :mod:`repro.results.artifact` — the typed result model
+  (:class:`ExperimentResult`, :class:`Metric`, :class:`PaperExpectation`,
+  :class:`RunManifest`) plus schema validation;
+* :mod:`repro.results.render` — byte-identical paper-style text, and SVG
+  where a chart is meaningful;
+* :mod:`repro.results.verify` — tolerance-band verification against the
+  paper's published numbers (``repro-delta verify``).
+"""
+
+from repro.results.artifact import (
+    ExperimentResult,
+    Metric,
+    PaperExpectation,
+    ResultTable,
+    RunManifest,
+    SCHEMA_VERSION,
+    Tolerance,
+    config_digest,
+    validate_result_dict,
+)
+from repro.results.render import RENDERERS, SVG_RENDERERS, render_svg, render_text
+from repro.results.verify import (
+    Check,
+    DEFAULT_MIN_SUPPORT,
+    VerificationReport,
+    verify_result,
+    verify_results,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Metric",
+    "PaperExpectation",
+    "ResultTable",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "Tolerance",
+    "config_digest",
+    "validate_result_dict",
+    "RENDERERS",
+    "SVG_RENDERERS",
+    "render_svg",
+    "render_text",
+    "Check",
+    "DEFAULT_MIN_SUPPORT",
+    "VerificationReport",
+    "verify_result",
+    "verify_results",
+]

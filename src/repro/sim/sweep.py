@@ -19,6 +19,7 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.results.artifact import RunManifest
 from repro.sim.engine import SimulationConfig, simulate_training_run
 from repro.sim.metrics import RunMetrics, aggregate_metrics
 from repro.sim.scenarios import build_scenario
@@ -73,14 +74,18 @@ class SweepResult:
     runs: Tuple[RunMetrics, ...]  # index == replica index
     aggregate: Dict[str, object] = field(repr=False)
     n_from_cache: int = 0
+    manifest: Optional[RunManifest] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "config": asdict(self.config),
             "config_hash": self.config_hash,
             "n_from_cache": self.n_from_cache,
             "aggregate": self.aggregate,
         }
+        if self.manifest is not None:
+            out["manifest"] = self.manifest.to_dict()
+        return out
 
 
 def _run_replica(task: Tuple[SweepConfig, int]) -> Tuple[int, Dict[str, object]]:
@@ -159,10 +164,22 @@ def run_sweep(
     for replica, row in fresh:
         by_replica[replica] = RunMetrics.from_dict(row)
     runs = tuple(by_replica[i] for i in wanted)
+    from repro import __version__
+
+    manifest = RunManifest(
+        run_id=f"sweep-{digest}",
+        seed=config.seed,
+        workers=workers,
+        engine="sim",
+        dataset=config.scenario,
+        config_hashes={"sweep": digest},
+        package_version=__version__,
+    )
     return SweepResult(
         config=config,
         config_hash=digest,
         runs=runs,
         aggregate=aggregate_metrics(runs),
         n_from_cache=sum(1 for i in cached if i < config.replicas),
+        manifest=manifest,
     )

@@ -1,0 +1,64 @@
+"""Golden byte-identity: the structured results render the exact report
+text the repo produced before the results layer existed.
+
+The goldens under ``tests/golden/`` were captured from the pre-refactor
+renderers at the default CLI settings (scale 0.05, seed 7).  Each
+experiment must reproduce its golden byte-for-byte — both when rendered
+directly and when rendered after a JSON round-trip, which is what pins
+the serialization to be lossless.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import DeltaStudy
+from repro.datasets import synthesize_delta
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.results import ExperimentResult, validate_result_dict
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: The settings the goldens were captured at.
+GOLDEN_SCALE = 0.05
+GOLDEN_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def golden_study():
+    dataset = synthesize_delta(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    built = DeltaStudy.from_dataset(dataset)
+    built.errors  # force extraction + coalescing once
+    return built
+
+
+def _golden_path(identifier: str) -> Path:
+    return GOLDEN_DIR / f"{identifier.replace('.', '_')}.txt"
+
+
+def test_every_experiment_has_a_golden():
+    missing = [i for i in EXPERIMENTS if not _golden_path(i).exists()]
+    assert not missing, f"missing golden files: {missing}"
+
+
+@pytest.mark.parametrize("identifier", sorted(EXPERIMENTS))
+def test_text_rendering_matches_golden(identifier, golden_study):
+    golden = _golden_path(identifier).read_text(encoding="utf-8")
+    result = run_experiment(
+        identifier, golden_study, scale=GOLDEN_SCALE, seed=GOLDEN_SEED
+    )
+    assert result.render_text() + "\n" == golden
+
+
+@pytest.mark.parametrize("identifier", sorted(EXPERIMENTS))
+def test_json_round_trip_preserves_rendering(identifier, golden_study):
+    result = run_experiment(
+        identifier, golden_study, scale=GOLDEN_SCALE, seed=GOLDEN_SEED
+    )
+    payload = result.render_json()
+    assert validate_result_dict(json.loads(payload)) == []
+    back = ExperimentResult.from_json(payload)
+    assert back.render_text() == result.render_text()
+    golden = _golden_path(identifier).read_text(encoding="utf-8")
+    assert back.render_text() + "\n" == golden

@@ -1,0 +1,164 @@
+"""The typed artifact model: tolerances, round-trips, validation, digests."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.results import (
+    ExperimentResult,
+    Metric,
+    PaperExpectation,
+    ResultTable,
+    RunManifest,
+    SCHEMA_VERSION,
+    Tolerance,
+    config_digest,
+    validate_result_dict,
+)
+
+
+def _sample_result() -> ExperimentResult:
+    expectation = PaperExpectation(
+        value=67.0, tolerance=Tolerance(rel=0.15), source="Table 1"
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        paper_artifact="Table 1",
+        title="Table 1 - sample",
+        renderer="table1",
+        metrics=(
+            Metric(name="mtbe", value=66.3, unit="node-hours",
+                   expectation=expectation, support=3190),
+            Metric(name="flag", value=True),
+            Metric(name="label", value="ampere"),
+        ),
+        tables=(
+            ResultTable(title="T", headers=("a", "b"),
+                        rows=((1, 2.5), (3, float("nan")))),
+        ),
+        manifest=RunManifest(run_id="table1@x", seed=7, scale=0.05,
+                             config_hashes={"coalesce": "abc"},
+                             package_version="1.1.0"),
+    )
+
+
+class TestTolerance:
+    def test_two_sided_band(self):
+        lo, hi = Tolerance(rel=0.1).bounds(100.0)
+        assert lo == pytest.approx(90.0) and hi == pytest.approx(110.0)
+
+    def test_absolute_slack_wins_when_larger(self):
+        lo, hi = Tolerance(rel=0.01, abs=5.0).bounds(100.0)
+        assert lo == pytest.approx(95.0) and hi == pytest.approx(105.0)
+
+    def test_relax_widens_the_band(self):
+        lo, hi = Tolerance(rel=0.1).bounds(100.0, relax=2.0)
+        assert lo == pytest.approx(80.0) and hi == pytest.approx(120.0)
+
+    def test_min_kind_has_no_upper_bound(self):
+        lo, hi = Tolerance(rel=0.2, kind="min").bounds(30.0)
+        assert lo == pytest.approx(24.0) and hi is None
+
+    def test_max_kind_has_no_lower_bound(self):
+        lo, hi = Tolerance(rel=0.2, kind="max").bounds(30.0)
+        assert lo is None and hi == pytest.approx(36.0)
+
+
+class TestPaperExpectation:
+    def test_scaled_multiplies_count_like_values(self):
+        e = PaperExpectation(value=70.0, tolerance=Tolerance(rel=0.35),
+                             source="S6", scales_with_window=True)
+        scaled = e.scaled(0.5)
+        assert scaled.value == pytest.approx(35.0)
+        assert not scaled.scales_with_window  # idempotent from here on
+
+    def test_scaled_leaves_rates_alone(self):
+        e = PaperExpectation(value=0.99, tolerance=Tolerance(abs=0.05),
+                             source="F5")
+        assert e.scaled(0.5).value == pytest.approx(0.99)
+
+
+class TestMetric:
+    def test_numeric_accepts_bool_and_numbers(self):
+        assert Metric(name="x", value=True).numeric == 1.0
+        assert Metric(name="x", value=3).numeric == 3.0
+
+    def test_numeric_rejects_strings(self):
+        with pytest.raises(TypeError):
+            Metric(name="x", value="ampere").numeric
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        result = _sample_result()
+        back = ExperimentResult.from_json(result.render_json())
+        assert back.experiment_id == result.experiment_id
+        assert back.metric("mtbe").expectation.value == 67.0
+        assert back.metric("mtbe").support == 3190
+        assert back.metric("flag").value is True
+        assert back.metric("label").value == "ampere"
+        assert back.manifest.config_hashes == {"coalesce": "abc"}
+
+    def test_round_trip_preserves_cell_types(self):
+        back = ExperimentResult.from_json(_sample_result().render_json())
+        row = back.tables[0].rows[0]
+        assert isinstance(row[0], int) and isinstance(row[1], float)
+        assert math.isnan(back.tables[0].rows[1][1])
+
+    def test_schema_version_is_stamped(self):
+        assert _sample_result().to_dict()["schema"] == SCHEMA_VERSION
+
+
+class TestValidation:
+    def test_valid_dict_has_no_problems(self):
+        assert validate_result_dict(_sample_result().to_dict()) == []
+
+    def test_missing_fields_are_reported(self):
+        data = _sample_result().to_dict()
+        del data["metrics"]
+        del data["experiment_id"]
+        problems = validate_result_dict(data)
+        assert any("metrics" in p for p in problems)
+        assert any("experiment_id" in p for p in problems)
+
+    def test_ragged_table_is_reported(self):
+        data = json.loads(_sample_result().render_json())
+        data["tables"][0]["rows"][0] = [1]
+        assert validate_result_dict(data)
+
+    def test_from_dict_raises_on_invalid(self):
+        with pytest.raises(ValueError):
+            ExperimentResult.from_dict({"schema": SCHEMA_VERSION})
+
+
+class TestResultAccessors:
+    def test_value_and_values(self):
+        result = _sample_result()
+        assert result.value("mtbe") == pytest.approx(66.3)
+        assert result.values["flag"] is True
+
+    def test_expected_metrics_filters_annotated_ones(self):
+        names = [m.name for m in _sample_result().expected_metrics()]
+        assert names == ["mtbe"]
+
+    def test_table_prefix_lookup(self):
+        assert _sample_result().table("T").headers == ("a", "b")
+        with pytest.raises(KeyError):
+            _sample_result().table("missing")
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        assert config_digest({"b": 1, "a": 2}) == config_digest({"a": 2, "b": 1})
+
+    def test_dataclasses_digest_like_their_dicts(self):
+        @dataclasses.dataclass
+        class Cfg:
+            x: int = 1
+
+        assert config_digest(Cfg()) == config_digest({"x": 1})
+
+    def test_different_configs_differ(self):
+        assert config_digest({"x": 1}) != config_digest({"x": 2})
