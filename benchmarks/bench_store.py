@@ -1,0 +1,245 @@
+"""Benchmark the columnar event store: warm queries vs cold re-parsing.
+
+Synthesizes a dataset, writes it out as per-node log files, then answers
+the question the store exists for — *how much faster is reading history
+back than re-deriving it from raw logs?* — while verifying the identity
+contract end to end:
+
+* the store's full-scan query replays the pipeline's merged record
+  stream byte-for-byte (order included);
+* a store-backed study produces statistics identical to the raw-log
+  study (overall and per-XID);
+* the representative query (one XID over the tail half of the window,
+  the paper's Table-1 slice shape) returns the very records a filter
+  over the re-parsed stream returns.
+
+The gated comparison is that representative query: cold answers it by
+re-parsing the whole log directory (there is nothing else to consult),
+warm answers it from the store, where zone maps prune segments and the
+residual predicate runs vectorized.  The full-scan replay is also timed
+(a store-backed study's Stage I), but record materialization bounds it,
+so the speedup gate lives on the query path.
+
+Timings land in ``BENCH_store.json``.  Standalone on purpose (not a
+pytest-benchmark case), and CI runs the same script in ``--smoke`` mode
+as a cheap identity check::
+
+    PYTHONPATH=src python benchmarks/bench_store.py            # full timing
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke    # CI check
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import DeltaStudy
+from repro.datasets import synthesize_delta
+from repro.pipeline import FileSetSource, extract_records
+from repro.store import EventStore, Query
+
+#: The acceptance gate: warm store reads must beat cold re-parsing by
+#: at least this factor (overridable; skipped under ``--smoke``).
+DEFAULT_MIN_SPEEDUP = 5.0
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale (fraction of the 855-day window)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--segment-records", type=int, default=50_000)
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+                        help="fail unless warm/cold speedup reaches this")
+    parser.add_argument("--output", default="BENCH_store.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset for CI: verifies identity, "
+                        "skips the speedup gate")
+    return parser.parse_args(argv)
+
+
+def _stream_digest(records) -> str:
+    """Order-sensitive digest of a record stream."""
+    digest = hashlib.sha256()
+    for r in records:
+        digest.update(
+            f"{r.time!r}|{r.node_id}|{r.pci_bus}|{r.xid}|{r.pid}|{r.message}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def _stats_of(study: DeltaStudy) -> dict:
+    stats = study.error_statistics()
+    return {
+        "n_errors": stats.total_count,
+        "overall_mtbe_node_hours": stats.overall_mtbe_node_hours(),
+        "counts_by_xid": {str(x): c for x, c in sorted(stats.counts().items())},
+    }
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.01)
+
+    tmp = tempfile.TemporaryDirectory(prefix="bench-store-")
+    logs_dir = Path(tmp.name) / "logs"
+    store_dir = Path(tmp.name) / "events"
+    print(f"synthesizing dataset (scale={args.scale}, seed={args.seed})...")
+    t0 = time.perf_counter()
+    dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    paths = dataset.write_logs(logs_dir)
+    print(f"  wrote {len(paths)} node log files in "
+          f"{time.perf_counter() - t0:.1f} s")
+    window_hours = dataset.window_seconds / 3600.0
+    n_nodes = dataset.reference_node_count
+
+    # Warm the page cache so the cold leg is not charged for cold I/O —
+    # "cold" here means *no store*, not an empty cache.
+    extract_records(FileSetSource(logs_dir), workers=1)
+
+    # Cold path: every read re-parses the raw log directory.
+    t0 = time.perf_counter()
+    raw_stream = extract_records(FileSetSource(logs_dir), workers=1)
+    cold_seconds = time.perf_counter() - t0
+    raw_digest = _stream_digest(raw_stream)
+
+    # One-time build (reported, not part of the read-path comparison).
+    t0 = time.perf_counter()
+    store = EventStore.create(store_dir)
+    store.ingest(FileSetSource(logs_dir), workers=1,
+                 segment_records=args.segment_records)
+    build_seconds = time.perf_counter() - t0
+
+    # Full-scan replay: a store-backed study's Stage I.  Informational
+    # timing; the identity check is the contract.
+    t0 = time.perf_counter()
+    store_stream = list(store.query())
+    replay_seconds = time.perf_counter() - t0
+    store_digest = _stream_digest(store_stream)
+
+    streams_identical = (
+        store_stream == raw_stream and store_digest == raw_digest
+    )
+
+    # The representative query: the most frequent XID over the tail half
+    # of the window (the paper's Table-1 slice shape).
+    span = store.time_span
+    midpoint = (span[0] + span[1]) / 2.0
+    xid_counts: dict = {}
+    for r in store_stream:
+        xid_counts[r.xid] = xid_counts.get(r.xid, 0) + 1
+    top_xid = max(xid_counts, key=xid_counts.get)
+    representative = Query(xids={top_xid}, time_range=(midpoint, None))
+    _, pruned = store.plan(representative)
+    del store_stream
+
+    # Cold answer: nothing to consult but the raw logs — re-parse the
+    # whole directory, then filter.
+    t0 = time.perf_counter()
+    cold_answer = [
+        r
+        for r in extract_records(FileSetSource(logs_dir), workers=1)
+        if r.xid == top_xid and r.time >= midpoint
+    ]
+    cold_query_seconds = time.perf_counter() - t0
+
+    # Warm answer: zone maps prune segments, the residual predicate runs
+    # vectorized, only matching rows materialize.
+    t0 = time.perf_counter()
+    warm_answer = list(store.query(representative))
+    warm_query_seconds = time.perf_counter() - t0
+    query_identical = warm_answer == cold_answer
+
+    # Study statistics: store-backed vs raw-log, must match exactly.
+    cold_stats = _stats_of(DeltaStudy(
+        FileSetSource(logs_dir), window_hours=window_hours, n_nodes=n_nodes
+    ))
+    warm_stats = _stats_of(DeltaStudy.from_store(
+        store, window_hours=window_hours, n_nodes=n_nodes
+    ))
+    stats_identical = cold_stats == warm_stats
+
+    identity_ok = streams_identical and stats_identical and query_identical
+    speedup = (
+        cold_query_seconds / warm_query_seconds if warm_query_seconds > 0 else 0.0
+    )
+    replay_speedup = cold_seconds / replay_seconds if replay_seconds > 0 else 0.0
+
+    report = {
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "segment_records": args.segment_records,
+            "min_speedup": args.min_speedup,
+            "smoke": args.smoke,
+        },
+        "cpu_count": os.cpu_count(),
+        "n_log_files": len(paths),
+        "n_records": store.n_records,
+        "n_segments": store.n_segments,
+        "store_bytes": sum(s.n_bytes for s in store.manifest.segments),
+        "content_hash": store.content_hash(),
+        "cold_parse_seconds": round(cold_seconds, 4),
+        "build_seconds": round(build_seconds, 4),
+        "replay_seconds": round(replay_seconds, 4),
+        "replay_speedup": round(replay_speedup, 3),
+        "query": {
+            "xid": top_xid,
+            "time_range": [midpoint, None],
+            "n_matches": len(warm_answer),
+            "segments_pruned": pruned,
+            "n_segments": store.n_segments,
+            "cold_seconds": round(cold_query_seconds, 4),
+            "warm_seconds": round(warm_query_seconds, 4),
+            "identical": query_identical,
+        },
+        "speedup": round(speedup, 3),
+        "streams_identical": streams_identical,
+        "stream_digest": raw_digest,
+        "stats_identical": stats_identical,
+        "identity_ok": identity_ok,
+        "study": {
+            "n_errors": cold_stats["n_errors"],
+            "overall_mtbe_node_hours": round(
+                cold_stats["overall_mtbe_node_hours"], 3
+            ),
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"store      : {store.n_records:,} records in {store.n_segments} "
+          f"segments ({report['store_bytes'] / 1e6:.1f} MB)")
+    print(f"cold parse : {cold_seconds:7.2f} s   (raw log directory)")
+    print(f"build      : {build_seconds:7.2f} s   (one-time)")
+    print(f"full replay: {replay_seconds:7.2f} s   ({replay_speedup:.2f}x)")
+    print(f"query xid={top_xid} over tail half "
+          f"({pruned}/{store.n_segments} segments pruned):")
+    print(f"  cold     : {cold_query_seconds:7.2f} s   (re-parse + filter)")
+    print(f"  warm     : {warm_query_seconds:7.2f} s   "
+          f"(speedup {speedup:.2f}x)")
+    print(f"streams identical: {streams_identical}  "
+          f"statistics identical: {stats_identical}  "
+          f"query identical: {query_identical}")
+    print(f"wrote {args.output}")
+
+    tmp.cleanup()
+    if not identity_ok:
+        print("ERROR: store-backed and raw-log paths diverge", file=sys.stderr)
+        return 1
+    if not args.smoke and speedup < args.min_speedup:
+        print(f"ERROR: warm/cold speedup {speedup:.2f}x below the "
+              f"{args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,14 @@ Subcommands:
 * ``experiment`` — run one registered table/figure experiment;
 * ``verify`` — check measured metrics against the paper's tolerance bands
   and exit non-zero on any miss;
-* ``overprovision`` — run the Section-5.4 sweep.
+* ``overprovision`` — run the Section-5.4 sweep;
+* ``store`` — build / inspect / query the persistent columnar event
+  store (``store build|stats|query|compact``).
+
+``study``, ``experiment`` and ``verify`` accept ``--store DIR``
+(read-through: the store is built from the dataset on first use and
+reused — Stage I becomes a columnar decode — with the store content
+hash recorded in the run manifest).
 
 ``study``, ``experiment`` and ``simulate`` accept ``--format text|json``
 and ``--output-dir DIR`` (which writes ``result.json`` + ``manifest.json``
@@ -39,6 +46,13 @@ def _add_common(
     parser.add_argument("--seed", type=int, default=seed)
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="read records through a columnar event store "
+                        "at DIR (built from the dataset on first use, "
+                        "reused thereafter)")
+
+
 def _add_output(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="print the paper-style text or the structured "
@@ -67,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
                          "the serial path; identical results either way)")
     p_study.add_argument("--h100", action="store_true",
                          help="also run the Section-6 H100 analysis")
+    _add_store(p_study)
     _add_output(p_study)
 
     p_over = sub.add_parser("overprovision", help="run the Section-5.4 sweep")
@@ -83,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p_exp)
     p_exp.add_argument("id", nargs="?", default=None,
                        help="experiment id (omit to list)")
+    _add_store(p_exp)
     _add_output(p_exp)
 
     p_ver = sub.add_parser(
@@ -100,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     p_ver.add_argument("--min-support", type=int, default=None,
                        help="skip checks whose metric was estimated from "
                        "fewer samples than this")
+    _add_store(p_ver)
 
     p_sim = sub.add_parser(
         "simulate",
@@ -131,6 +148,57 @@ def main(argv: list[str] | None = None) -> int:
                        help="write result.json + manifest.json for the sweep")
     p_sim.add_argument("--list-scenarios", action="store_true",
                        help="list scenario presets and exit")
+
+    p_store = sub.add_parser(
+        "store",
+        help="persistent columnar event store: build once, slice by time "
+        "window / XID / node / GPU without re-parsing raw logs",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_sb = store_sub.add_parser(
+        "build", help="ingest a dataset's logs into a store directory"
+    )
+    p_sb.add_argument("dataset", type=Path,
+                      help="dataset directory written by 'synthesize' "
+                      "(or a bare log directory)")
+    p_sb.add_argument("store_dir", type=Path, help="store directory to create")
+    p_sb.add_argument("--workers", type=int, default=1,
+                      help="processes for sharded log extraction")
+    p_sb.add_argument("--segment-records", type=int, default=None,
+                      help="records per segment (default 50,000)")
+    _add_common(p_sb)
+
+    p_ss = store_sub.add_parser("stats", help="describe a store")
+    p_ss.add_argument("store_dir", type=Path)
+    p_ss.add_argument("--json", action="store_true")
+
+    p_sq = store_sub.add_parser(
+        "query",
+        help="slice the store: pushdown by time window, XID, node, serial",
+    )
+    p_sq.add_argument("store_dir", type=Path)
+    p_sq.add_argument("--since", default=None,
+                      help="ISO timestamp or epoch seconds (inclusive)")
+    p_sq.add_argument("--until", default=None,
+                      help="ISO timestamp or epoch seconds (inclusive)")
+    p_sq.add_argument("--xids", default=None,
+                      help="comma-separated XID codes (e.g. 48,63,79)")
+    p_sq.add_argument("--nodes", default=None,
+                      help="comma-separated node ids")
+    p_sq.add_argument("--serials", default=None,
+                      help="comma-separated GPU serials (<node>/<pci-bus>)")
+    p_sq.add_argument("--limit", type=int, default=None,
+                      help="print at most this many records")
+    p_sq.add_argument("--count", action="store_true",
+                      help="print only the matching-record count")
+
+    p_sc = store_sub.add_parser(
+        "compact", help="merge small segments (content and order preserved)"
+    )
+    p_sc.add_argument("store_dir", type=Path)
+    p_sc.add_argument("--threshold", type=int, default=None,
+                      help="segments smaller than this merge (default 10,000)")
 
     p_mon = sub.add_parser(
         "monitor",
@@ -167,6 +235,10 @@ def main(argv: list[str] | None = None) -> int:
     p_srv.add_argument("--duration", type=float, default=None,
                        help="follow for this many seconds then exit "
                        "(without --simulate the default is to run forever)")
+    p_srv.add_argument("--store", type=Path, default=None, metavar="DIR",
+                       help="persist ingested records into a columnar event "
+                       "store at DIR; on restart the registry warm-starts "
+                       "from it and only new log appends are tailed")
     p_srv.add_argument("--trained-risk", action="store_true",
                        help="fit the Section-4.3 persistence predictor on a "
                        "synthesized window and use it for risk scores "
@@ -191,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_monitor(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return 2
 
 
@@ -233,6 +307,37 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_through_store(
+    store_dir: Path,
+    make_source,
+    *,
+    meta: dict,
+    workers: int = 1,
+):
+    """Open the store at ``store_dir``, building it on first use.
+
+    ``make_source`` is called only when the store is empty (so the raw
+    logs are parsed exactly once per dataset, not once per analysis).
+    A non-empty store must have been built for the same scale/seed —
+    silently reusing someone else's records would be worse than slow.
+    """
+    from repro.store import EventStore, StoreError
+
+    store = EventStore.open_or_create(store_dir, meta=meta)
+    if store.n_records == 0:
+        store.ingest(make_source(), workers=workers)
+        return store
+    for key in ("scale", "seed"):
+        want, have = meta.get(key), store.meta.get(key)
+        if want is not None and have is not None and want != have:
+            raise StoreError(
+                f"store at {store_dir} was built with {key}={have}, "
+                f"this run wants {key}={want}; pass a matching --{key} "
+                "or a different --store directory"
+            )
+    return store
+
+
 def _build_study(args: argparse.Namespace, *, workers: int = 1):
     """The study both ``study`` and ``verify`` analyze; returns
     ``(study, scale)``."""
@@ -242,18 +347,64 @@ def _build_study(args: argparse.Namespace, *, workers: int = 1):
     from repro.slurm import SlurmDatabase
 
     dataset_dir: Optional[Path] = getattr(args, "dataset", None)
+    store_dir: Optional[Path] = getattr(args, "store", None)
     if dataset_dir is not None:
         slurm_db = SlurmDatabase.load(dataset_dir / "slurm.jsonl")
-        study = DeltaStudy.from_log_directory(
-            dataset_dir / "logs",
-            window_hours=AMPERE_CALIBRATION.window_days * 24.0 * args.scale,
-            n_nodes=AMPERE_CALIBRATION.reference_node_count,
-            slurm_db=slurm_db,
-            workers=workers,
-        )
+        window_hours = AMPERE_CALIBRATION.window_days * 24.0 * args.scale
+        n_nodes = AMPERE_CALIBRATION.reference_node_count
+        if store_dir is not None:
+            from repro.pipeline import FileSetSource
+
+            store = _read_through_store(
+                store_dir,
+                lambda: FileSetSource(dataset_dir / "logs"),
+                meta={
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "window_hours": window_hours,
+                    "n_nodes": n_nodes,
+                    "dataset": str(dataset_dir),
+                },
+                workers=workers,
+            )
+            study = DeltaStudy.from_store(
+                store, slurm_db=slurm_db, workers=workers
+            )
+        else:
+            study = DeltaStudy.from_log_directory(
+                dataset_dir / "logs",
+                window_hours=window_hours,
+                n_nodes=n_nodes,
+                slurm_db=slurm_db,
+                workers=workers,
+            )
         return study, args.scale
     dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    if store_dir is not None:
+        study = _store_backed_study(dataset, store_dir, workers=workers)
+        return study, dataset.config.scale
     return DeltaStudy.from_dataset(dataset), dataset.config.scale
+
+
+def _store_backed_study(dataset, store_dir: Path, *, workers: int = 1):
+    """Read-through study over an in-memory synthesized dataset."""
+    from repro.core import DeltaStudy
+    from repro.pipeline import LinesSource
+
+    store = _read_through_store(
+        store_dir,
+        lambda: LinesSource(dataset.log_lines()),
+        meta={
+            "scale": dataset.config.scale,
+            "seed": dataset.config.seed,
+            "window_hours": dataset.window_seconds / 3600.0,
+            "n_nodes": dataset.reference_node_count,
+            "n_gpus": dataset.reference_gpu_count,
+        },
+    )
+    return DeltaStudy.from_store(
+        store, slurm_db=dataset.slurm_db, workers=workers
+    )
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -262,11 +413,17 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     from repro.experiments import run_experiment
 
+    from repro.store import StoreError
+
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     if workers < 1:
         print("error: --workers must be >= 1")
         return 2
-    study, scale = _build_study(args, workers=workers)
+    try:
+        study, scale = _build_study(args, workers=workers)
+    except StoreError as error:
+        print(f"error: {error}")
+        return 2
 
     sequence = STUDY_SEQUENCE + (("sec6",) if args.h100 else ())
     results = [
@@ -334,7 +491,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                   f"{marker} {experiment.description}")
         return 0
     dataset = synthesize_delta(scale=args.scale, seed=args.seed)
-    study = DeltaStudy.from_dataset(dataset)
+    if args.store is not None:
+        from repro.store import StoreError
+
+        try:
+            study = _store_backed_study(dataset, args.store)
+        except StoreError as error:
+            print(f"error: {error}")
+            return 2
+    else:
+        study = DeltaStudy.from_dataset(dataset)
     result = run_experiment(args.id, study, scale=args.scale, seed=args.seed)
     if args.output_dir is not None:
         for path in _write_result_dir(result, args.output_dir):
@@ -361,7 +527,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     min_support = (DEFAULT_MIN_SUPPORT if args.min_support is None
                    else args.min_support)
 
-    study, scale = _build_study(args)
+    from repro.store import StoreError
+
+    try:
+        study, scale = _build_study(args)
+    except StoreError as error:
+        print(f"error: {error}")
+        return 2
     results = [
         run_experiment(identifier, study, scale=scale, seed=args.seed)
         for identifier in identifiers
@@ -456,6 +628,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             alarm_after_seconds=args.alarm_minutes * 60.0,
             keep_closed=False,
             on_alarm=_print_alarm,
+            # A watched directory can legitimately regress in time (clock
+            # reset, a demo/emitter re-run appending a fresh window): the
+            # live watchdog restarts the affected run instead of dying.
+            time_regression="restart",
         ),
     )
     result = pipeline.run()
@@ -463,6 +639,143 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"stream complete: {result.n_errors:,} coalesced errors, "
         f"{len(result.alarms)} persistence alarms"
     )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.store import EventStore, Query, StoreError
+
+    try:
+        if args.store_command == "build":
+            return _cmd_store_build(args)
+        if args.store_command == "stats":
+            stats = EventStore.open(args.store_dir).stats()
+            if args.json:
+                print(_json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                from repro.util.timeutil import format_timestamp
+
+                print(f"store     : {stats['directory']}")
+                print(f"schema    : {stats['schema']}")
+                print(f"segments  : {stats['n_segments']}  "
+                      f"({stats['n_bytes']:,} bytes)")
+                print(f"records   : {stats['n_records']:,}")
+                print(f"nodes     : {stats['n_nodes']}  "
+                      f"gpus: {stats['n_serials']}")
+                if stats["time_min"] is not None:
+                    print(f"window    : {format_timestamp(stats['time_min'])} "
+                          f"-> {format_timestamp(stats['time_max'])}")
+                print(f"hash      : {stats['content_hash']}")
+                counts = ", ".join(f"{x}:{c:,}" for x, c in
+                                   stats["counts_by_xid"].items())
+                print(f"xid counts: {counts}")
+            return 0
+        if args.store_command == "query":
+            return _cmd_store_query(args)
+        if args.store_command == "compact":
+            from repro.store.store import DEFAULT_COMPACT_THRESHOLD
+
+            store = EventStore.open(args.store_dir)
+            threshold = (DEFAULT_COMPACT_THRESHOLD if args.threshold is None
+                         else args.threshold)
+            merged = store.compact(threshold=threshold)
+            print(f"compacted {merged} segments away; store now holds "
+                  f"{store.n_segments} segment(s), {store.n_records:,} records")
+            return 0
+    except StoreError as error:
+        print(f"error: {error}")
+        return 2
+    return 2
+
+
+def _cmd_store_build(args: argparse.Namespace) -> int:
+    from repro.faults import AMPERE_CALIBRATION
+    from repro.pipeline import FileSetSource
+    from repro.store import DEFAULT_SEGMENT_RECORDS, EventStore, StoreError
+
+    logs_dir = args.dataset / "logs" if (args.dataset / "logs").is_dir() else args.dataset
+    if not logs_dir.is_dir():
+        print(f"error: {logs_dir} is not a directory")
+        return 2
+    if EventStore.exists(args.store_dir) and EventStore.open(args.store_dir).n_records:
+        print(f"error: store at {args.store_dir} is already built "
+              "(query it, or choose a new directory)")
+        return 2
+    meta = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "window_hours": AMPERE_CALIBRATION.window_days * 24.0 * args.scale,
+        "n_nodes": AMPERE_CALIBRATION.reference_node_count,
+        "dataset": str(args.dataset),
+    }
+    try:
+        store = EventStore.open_or_create(args.store_dir, meta=meta)
+        segments = store.ingest(
+            FileSetSource(logs_dir),
+            workers=max(1, args.workers),
+            segment_records=args.segment_records or DEFAULT_SEGMENT_RECORDS,
+        )
+    except StoreError as error:
+        print(f"error: {error}")
+        return 2
+    print(f"ingested {store.n_records:,} records into {len(segments)} "
+          f"segment(s) under {args.store_dir} "
+          f"(content hash {store.content_hash()})")
+    return 0
+
+
+def _parse_query_args(args: argparse.Namespace):
+    from repro.store import Query
+    from repro.util.timeutil import parse_timestamp
+
+    def _moment(text: Optional[str]) -> Optional[float]:
+        if text is None:
+            return None
+        try:
+            return float(text)
+        except ValueError:
+            return parse_timestamp(text)
+
+    def _split(text: Optional[str]) -> Optional[List[str]]:
+        if text is None:
+            return None
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    since, until = _moment(args.since), _moment(args.until)
+    xids = _split(args.xids)
+    return Query(
+        time_range=(since, until) if (since is not None or until is not None)
+        else None,
+        xids=[int(x) for x in xids] if xids else None,
+        nodes=_split(args.nodes),
+        serials=_split(args.serials),
+    )
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    from repro.store import EventStore
+    from repro.util.timeutil import format_timestamp
+
+    store = EventStore.open(args.store_dir)
+    query = _parse_query_args(args)
+    candidates, skipped = store.plan(query)
+    if args.count:
+        print(store.count(query))
+        print(f"({len(candidates)} segment(s) read, {skipped} pruned by "
+              "zone maps)", file=sys.stderr)
+        return 0
+    printed = 0
+    for record in store.query(query):
+        pid = "-" if record.pid is None else str(record.pid)
+        print(f"{format_timestamp(record.time)}\t{record.node_id}\t"
+              f"{record.pci_bus}\t{record.xid}\t{pid}\t{record.message}")
+        printed += 1
+        if args.limit is not None and printed >= args.limit:
+            break
+    print(f"({printed} record(s); {len(candidates)} segment(s) read, "
+          f"{skipped} pruned by zone maps)", file=sys.stderr)
     return 0
 
 
@@ -520,11 +833,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             logs_dir=args.logs,
             alarm_after_seconds=args.alarm_minutes * 60.0,
             metrics_port=args.port,
+            store_dir=args.store,
         ),
         sinks=sinks,
         risk_scorer=risk_scorer,
     )
     service.start()
+    if service.store is not None and service.records_replayed:
+        print(f"warm start: replayed {service.records_replayed:,} records "
+              f"from {args.store}; tailing new appends only")
     print(f"metrics: {service.metrics_url}")
     try:
         if emitter is not None:
@@ -544,9 +861,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if emitter is not None:
             emitter.stop()
-        summary = service.summary()
         metrics_text = service.render_metrics()
-        service.stop()
+        service.stop()  # drains the queue and flushes the store writer
+        summary = service.summary()
         if jsonl_sink is not None:
             jsonl_sink.close()
 
@@ -555,6 +872,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for key in ("records_ingested", "tracked_gpus", "error_onsets",
                 "open_runs", "persistence_alarms", "alerts_fired"):
         print(f"  {key}: {summary[key]}")
+    if summary.get("store"):
+        store_state = summary["store"]
+        print(f"  store: {store_state['n_records']:,} records in "
+              f"{store_state['n_segments']} segment(s) at "
+              f"{store_state['directory']}")
     if summary["alerts_by_rule"]:
         for rule, count in summary["alerts_by_rule"].items():
             print(f"    {rule}: {count}")

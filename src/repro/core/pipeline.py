@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
 
 from repro.core.availability import AvailabilityAnalyzer, AvailabilityReport
 from repro.core.coalesce import CoalesceConfig, CoalescedError
@@ -83,6 +83,9 @@ class DeltaStudy:
             self.source: Source = log_lines
         else:
             self.source = LinesSource(log_lines)
+        #: Provenance of a store-backed study (recorded in run manifests).
+        self.store_hash: Optional[str] = None
+        self.dataset_label: Optional[str] = None
         self._records: Optional[List[RawXidRecord]] = None
         self._errors: Optional[List[CoalescedError]] = None
 
@@ -125,9 +128,117 @@ class DeltaStudy:
             **kwargs,
         )
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        *,
+        window_hours: Optional[float] = None,
+        n_nodes: Optional[int] = None,
+        slurm_db: SlurmDatabase | None = None,
+        query=None,
+        workers: int = 1,
+        **kwargs,
+    ) -> "DeltaStudy":
+        """Build over a built :class:`~repro.store.store.EventStore`.
+
+        ``store`` is an :class:`EventStore` or its directory.  Stage I
+        becomes a columnar decode with zone-map pushdown (pass ``query``
+        to slice); ``window_hours`` / ``n_nodes`` default from the
+        metadata ``repro-delta store build`` records.  The study streams
+        records instead of materializing them (store segments are
+        re-iterable), and its run manifests carry the store content hash.
+        """
+        from repro.store import MATCH_ALL, EventStore, StoreSource
+
+        if not isinstance(store, EventStore):
+            store = EventStore.open(store)
+        meta = store.meta
+        if window_hours is None:
+            if "window_hours" not in meta:
+                raise ValueError(
+                    "window_hours not given and not recorded in store meta"
+                )
+            window_hours = float(meta["window_hours"])  # type: ignore[arg-type]
+        if n_nodes is None:
+            if "n_nodes" not in meta:
+                raise ValueError(
+                    "n_nodes not given and not recorded in store meta"
+                )
+            n_nodes = int(meta["n_nodes"])  # type: ignore[arg-type]
+        if "n_gpus" in meta:
+            kwargs.setdefault("n_gpus", int(meta["n_gpus"]))  # type: ignore[arg-type]
+        study = cls(
+            StoreSource(store, query=query if query is not None else MATCH_ALL),
+            window_hours=window_hours,
+            n_nodes=n_nodes,
+            slurm_db=slurm_db,
+            workers=workers,
+            **kwargs,
+        )
+        study.store_hash = store.content_hash()
+        study.dataset_label = f"store:{store.directory}"
+        return study
+
+    def to_store(
+        self,
+        directory: str | Path,
+        *,
+        segment_records: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ):
+        """Persist this study's record stream into an event store.
+
+        Creates (or appends to an empty) store at ``directory`` and
+        returns the :class:`~repro.store.store.EventStore`.  The study's
+        window/node parameters are recorded as store metadata so a later
+        :meth:`from_store` needs only the directory.
+        """
+        from repro.store import DEFAULT_SEGMENT_RECORDS, EventStore
+
+        store_meta = {
+            "window_hours": float(self.window_hours),
+            "n_nodes": int(self.n_nodes),
+        }
+        if self.n_gpus is not None:
+            store_meta["n_gpus"] = int(self.n_gpus)
+        if meta:
+            store_meta.update(meta)
+        store = EventStore.open_or_create(directory, meta=store_meta)
+        if store.n_records:
+            raise ValueError(
+                f"store at {directory} already holds {store.n_records} records"
+            )
+        store.append(
+            self.iter_records(),
+            segment_records=segment_records or DEFAULT_SEGMENT_RECORDS,
+        )
+        return store
+
     # ------------------------------------------------------------------
     # Stages
     # ------------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[RawXidRecord]:
+        """Stage I as a stream.
+
+        Yields from the cache when :attr:`records` already materialized;
+        otherwise streams straight off the source — without building the
+        full list when the source is re-iterable (file sets, stores),
+        which is what lets store-backed studies run in O(open state)
+        memory instead of O(record count).
+        """
+        if self._records is not None:
+            yield from self._records
+            return
+        if self.source.reiterable:
+            from repro.pipeline.extract import iter_source_records
+
+            yield from iter_source_records(self.source, workers=self.workers)
+            return
+        # One-shot sources (in-memory lines/records) must materialize, or
+        # a second stage pass would find the iterable already consumed.
+        yield from self.records
 
     @property
     def records(self) -> List[RawXidRecord]:
@@ -140,12 +251,17 @@ class DeltaStudy:
 
     @property
     def errors(self) -> List[CoalescedError]:
-        """Stage I + II: extract then coalesce (cached)."""
+        """Stage I + II: extract then coalesce (cached).
+
+        Coalescing consumes :meth:`iter_records`, so re-iterable sources
+        stream through Stage II without the raw stream ever being
+        materialized; the coalesced errors are what stays resident.
+        """
         if self._errors is None:
             from repro.pipeline.stages import make_stage
 
             stage = make_stage(self.engine, self.coalesce_config)
-            self._errors = stage.run(self.records).errors
+            self._errors = stage.run(self.iter_records()).errors
         return self._errors
 
     def error_statistics(self) -> ErrorStatistics:

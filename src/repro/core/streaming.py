@@ -62,7 +62,12 @@ class StreamingCoalescer:
       the run's start backward);
     * a record later than that raises :class:`ValueError` — such a record
       belongs to an already-determined portion of the stream and accepting
-      it would silently diverge from batch Algorithm 1.
+      it would silently diverge from batch Algorithm 1.  A long-lived
+      service whose feed can legitimately jump backward in time (a host
+      clock reset, a feed restarting behind warm-started history) passes
+      ``time_regression="restart"`` instead: the stale run is closed and
+      the record starts a fresh one on the new timeline, so one bad
+      timestamp never kills a live ingest thread.
 
     **Live-path memory.**  By default every closed error is retained on
     ``self.closed`` (batch-equivalence workflows read it back via
@@ -84,13 +89,17 @@ class StreamingCoalescer:
         keep_closed: bool = True,
         on_open: Optional[Callable[[RawXidRecord], None]] = None,
         on_close: Optional[Callable[[CoalescedError], None]] = None,
+        time_regression: str = "raise",
     ) -> None:
         if window_seconds <= 0 or max_persistence <= 0 or alarm_after_seconds <= 0:
             raise ValueError("streaming coalescer thresholds must be positive")
+        if time_regression not in ("raise", "restart"):
+            raise ValueError('time_regression must be "raise" or "restart"')
         self.window_seconds = window_seconds
         self.max_persistence = max_persistence
         self.alarm_after_seconds = alarm_after_seconds
         self.keep_closed = keep_closed
+        self.time_regression = time_regression
         self.on_open = on_open
         self.on_close = on_close
         self._open: Dict[GroupKey, _OpenRun] = {}
@@ -105,21 +114,27 @@ class StreamingCoalescer:
         run = self._open.get(key)
         if run is not None:
             gap = record.time - run.latest
-            if gap < 0:
-                if -gap > self.window_seconds:
-                    raise ValueError(
-                        "streaming input out of order beyond the coalescing "
-                        f"window (got t={record.time} after t={run.latest})"
-                    )
+            if -self.window_seconds <= gap < 0:
                 # Late arrival within the window: fold it into the open run.
                 run.n_raw += 1
                 if record.time < run.start:
                     run.start = record.time
                 return self._maybe_alarm(key, run, record)
-            span = record.time - run.start
-            if gap > self.window_seconds or span > self.max_persistence:
+            if gap < 0:
+                if self.time_regression == "raise":
+                    raise ValueError(
+                        "streaming input out of order beyond the coalescing "
+                        f"window (got t={record.time} after t={run.latest})"
+                    )
+                # The feed jumped backward in time: the stale run is over;
+                # this record begins a new one on the new timeline.
                 self._close(key, run)
                 run = None
+            else:
+                span = record.time - run.start
+                if gap > self.window_seconds or span > self.max_persistence:
+                    self._close(key, run)
+                    run = None
         if run is None:
             self._open[key] = _OpenRun(record.time, record.time, 1)
             if self.on_open is not None:

@@ -366,6 +366,11 @@ def _build_manifest(
 
     study = ctx.study
     hashes = {"coalesce": config_digest(study.coalesce_config)}
+    # Store-backed studies carry the store's content hash: the manifest
+    # then names the exact bytes Stage I read, not just a directory.
+    store_hash = getattr(study, "store_hash", None)
+    if store_hash is not None:
+        hashes["store"] = store_hash
     hashes.update(extra_hashes)
     return RunManifest(
         run_id=f"{identifier}@scale{ctx.scale:g}-seed{ctx.seed}",
@@ -376,6 +381,7 @@ def _build_manifest(
         n_nodes=int(study.n_nodes),
         n_gpus=int(study.n_gpus) if study.n_gpus is not None else None,
         engine=study.engine,
+        dataset=getattr(study, "dataset_label", None),
         config_hashes=hashes,
         package_version=__version__,
     )

@@ -140,6 +140,9 @@ class _Shard:
         self._closed_buffer: List[CoalescedError] = []
         self._opened = False
         self._runs: Dict[Tuple[str, str, int, str], _RunTrack] = {}
+        # The live feed can jump backward in time (host clock reset, a
+        # feed restarting behind warm-started store history); restart the
+        # affected run instead of killing the ingest thread.
         self.coalescer = StreamingCoalescer(
             window_seconds=window_seconds,
             max_persistence=max_persistence,
@@ -147,6 +150,7 @@ class _Shard:
             keep_closed=False,
             on_open=self._on_open,
             on_close=self._on_close,
+            time_regression="restart",
         )
 
     # Callbacks run inside coalescer.feed / flush, under this shard's lock.
@@ -222,7 +226,14 @@ class HealthRegistry:
                 )
                 shard.states[record.gpu_key] = health
             health.raw_lines += 1
-            health.last_seen = max(health.last_seen, record.time)
+            if record.time < health.last_seen - shard.rate_window_seconds:
+                # The feed's clock jumped backward past the whole rolling
+                # window (clock reset / replay restarting behind warm-start
+                # history): rolling-rate state follows the new timeline.
+                health.last_seen = record.time
+                health.recent.clear()
+            else:
+                health.last_seen = max(health.last_seen, record.time)
             if onset:
                 health.onsets[record.xid] = health.onsets.get(record.xid, 0) + 1
                 health.recent.append((record.time, record.xid))

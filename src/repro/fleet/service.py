@@ -54,6 +54,14 @@ class FleetServiceConfig:
     #: port 0 binds an ephemeral port.
     metrics_port: Optional[int] = 0
     metrics_host: str = "127.0.0.1"
+    #: Durable history: when set, every ingested record also lands in a
+    #: columnar event store at this directory (``docs/store.md``), and on
+    #: restart the registry warm-starts by replaying the store — the
+    #: service survives its own restarts with per-GPU history intact.
+    store_dir: Optional[Path] = None
+    store_segment_records: int = 20_000
+    store_flush_seconds: Optional[float] = 5.0
+    warm_start: bool = True
 
 
 class _RegistryFeed(Consumer):
@@ -95,16 +103,38 @@ class FleetHealthService:
         self.engine = RuleEngine(
             default_rules() if rules is None else rules, sinks=sinks
         )
+        self.store = None
+        self.store_writer = None
+        self.records_replayed = 0
+        from_start = config.from_start
+        if config.store_dir is not None:
+            from repro.store import EventStore, StoreWriter
+
+            self.store = EventStore.open_or_create(config.store_dir)
+            self.store_writer = StoreWriter(
+                self.store,
+                segment_records=config.store_segment_records,
+                flush_seconds=config.store_flush_seconds,
+            )
+            if config.warm_start and self.store.n_records:
+                # History is already durable: replay it into the registry
+                # at start() and tail only *new* appends — re-reading the
+                # log files from the top would double-ingest everything
+                # the store already holds.
+                from_start = False
         self.source = TailSource(
             config.logs_dir,
             queue_size=config.queue_size,
             workers=config.workers,
             poll_interval=config.poll_interval,
-            from_start=config.from_start,
+            from_start=from_start,
         )
         self.tailer = self.source.tailer
+        consumers: Tuple[Consumer, ...] = (_RegistryFeed(self),)
+        if self.store_writer is not None:
+            consumers = consumers + (self.store_writer,)
         self.pipeline = IngestPipeline(
-            self.source, coalesce=None, consumers=(_RegistryFeed(self),)
+            self.source, coalesce=None, consumers=consumers
         )
         self.metrics_server: Optional[MetricsServer] = None
         if config.metrics_port is not None:
@@ -128,6 +158,7 @@ class FleetHealthService:
         self.started_monotonic = time.monotonic()
         if self.metrics_server is not None:
             self.metrics_server.start()
+        self._replay_store()
         self.tailer.start()
         self._consumer = threading.Thread(
             target=self._consume, daemon=True, name="fleet-ingest"
@@ -145,6 +176,23 @@ class FleetHealthService:
             self._consumer.join(timeout)
         if self.metrics_server is not None:
             self.metrics_server.stop()
+
+    def _replay_store(self) -> None:
+        """Warm-start the registry from durable history (restart path).
+
+        Replayed records feed the registry only — the rule engine stays
+        out of it, so alerts that already fired in a previous life are
+        not re-fired on every restart.
+        """
+        if (
+            self.store is None
+            or not self.config.warm_start
+            or not self.store.n_records
+        ):
+            return
+        for record in self.store.query():
+            self.registry.ingest(record)
+            self.records_replayed += 1
 
     def _consume(self) -> None:
         # Extract-only pipeline run: the sharded registry owns the
@@ -212,7 +260,16 @@ class FleetHealthService:
     def summary(self) -> dict:
         """A human-readable state snapshot (the serve CLI's exit report)."""
         onsets = self.registry.onset_counts()
+        store_summary = None
+        if self.store is not None:
+            store_summary = {
+                "directory": str(self.store.directory),
+                "n_records": self.store.n_records,
+                "n_segments": self.store.n_segments,
+                "records_replayed": self.records_replayed,
+            }
         return {
+            "store": store_summary,
             "records_ingested": self.records_ingested,
             "tracked_gpus": len(self.registry.snapshot()),
             "error_onsets": sum(onsets.values()),

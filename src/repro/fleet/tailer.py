@@ -73,8 +73,12 @@ class LogTailer:
 
     Keeps a byte offset and a partial-line buffer; a poll reads whatever
     the writer appended since the previous poll and returns only *complete*
-    lines (a line still missing its newline stays buffered).  Truncation
-    (offset beyond file size) resets to the start, like ``tail -F``.
+    lines (a line still missing its newline stays buffered).  Rotation and
+    truncation both reset to the start, like ``tail -F``: a shrinking file
+    is an in-place truncation, and a changed inode means the path now
+    names a *different* file — even one already larger than the old
+    offset, where resuming at the stale offset would stream garbage from
+    the middle of the replacement.
 
     ``.log.gz`` files cannot be followed incrementally; the directory
     tailer reads them once at discovery as static backlog instead.
@@ -84,20 +88,26 @@ class LogTailer:
         self.path = Path(path)
         self._offset = 0
         self._buffer = b""
+        self._inode: int | None = None
         self.stats = TailStats(files=1)
         if not from_start and self.path.exists():
-            self._offset = self.path.stat().st_size
+            stat = self.path.stat()
+            self._offset = stat.st_size
+            self._inode = stat.st_ino
 
     def poll_lines(self) -> List[str]:
         """All complete lines appended since the last poll."""
         self.stats.polls += 1
         try:
-            size = self.path.stat().st_size
+            stat = self.path.stat()
         except OSError:
             return []
-        if size < self._offset:  # truncated / rotated: start over
+        size = stat.st_size
+        rotated = self._inode is not None and stat.st_ino != self._inode
+        if rotated or size < self._offset:  # rotated / truncated: start over
             self._offset = 0
             self._buffer = b""
+        self._inode = stat.st_ino
         if size == self._offset:
             return []
         with open(self.path, "rb") as handle:

@@ -93,11 +93,18 @@ class Source:
         k-way-merges the per-shard streams into one globally
         time-ordered stream (required for the streaming coalescer's
         ordering contract; harmless for the batch path, which sorts).
+    ``reiterable``
+        :meth:`shards` may be called repeatedly and every pass yields
+        the same records (files and store segments are; one-shot
+        in-memory iterables are not).  Consumers that would otherwise
+        materialize the stream (the study's record cache) may stream
+        instead when the source is reiterable.
     """
 
     live: bool = False
     parallelizable: bool = False
     merge_by_time: bool = False
+    reiterable: bool = False
 
     def shards(self) -> Sequence[object]:
         raise NotImplementedError
@@ -114,6 +121,7 @@ class FileSetSource(Source):
 
     parallelizable = True
     merge_by_time = True
+    reiterable = True
 
     def __init__(
         self,

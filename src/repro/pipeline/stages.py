@@ -86,6 +86,7 @@ class StreamingCoalesce(CoalesceStage):
         on_open: Optional[Callable[[RawXidRecord], None]] = None,
         on_close: Optional[Callable[[CoalescedError], None]] = None,
         on_alarm: Optional[Callable[[PersistenceAlarm], None]] = None,
+        time_regression: str = "raise",
     ) -> None:
         self.config = config or CoalesceConfig()
         self.alarm_after_seconds = alarm_after_seconds
@@ -93,6 +94,7 @@ class StreamingCoalesce(CoalesceStage):
         self.on_open = on_open
         self.on_close = on_close
         self.on_alarm = on_alarm
+        self.time_regression = time_regression
 
     def run(self, records: Iterable[RawXidRecord]) -> CoalesceOutcome:
         n_closed = 0
@@ -110,6 +112,7 @@ class StreamingCoalesce(CoalesceStage):
             keep_closed=self.keep_closed,
             on_open=self.on_open,
             on_close=_count_closed,
+            time_regression=self.time_regression,
         )
         for alarm in coalescer.feed_many(records):
             if self.on_alarm is not None:

@@ -1,0 +1,64 @@
+"""Pipeline consumer that persists the record stream into an event store.
+
+Attach a :class:`StoreWriter` to any :class:`~repro.pipeline.engine.IngestPipeline`
+and every record the pipeline observes lands in the store: batch builds
+flush a segment per ``segment_records``, live tails additionally flush
+whatever has accumulated every ``flush_seconds`` of wall time so a
+long-lived ``repro-delta serve`` leaves durable history behind even at
+low event rates.  ``close()`` (called by the pipeline's ``finally``)
+flushes the remainder — no records are lost on a clean stop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.parsing import RawXidRecord
+from repro.pipeline.engine import Consumer
+from repro.store.store import DEFAULT_SEGMENT_RECORDS, EventStore
+
+
+class StoreWriter(Consumer):
+    """Buffer records and append them to an :class:`EventStore` in segments."""
+
+    def __init__(
+        self,
+        store: EventStore,
+        *,
+        segment_records: int = DEFAULT_SEGMENT_RECORDS,
+        flush_seconds: Optional[float] = None,
+    ) -> None:
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        self.store = store
+        self.segment_records = segment_records
+        self.flush_seconds = flush_seconds
+        self.records_written = 0
+        self.segments_written = 0
+        self._buffer: List[RawXidRecord] = []
+        self._last_flush = time.monotonic()
+
+    def on_record(self, record: RawXidRecord) -> None:
+        self._buffer.append(record)
+        if len(self._buffer) >= self.segment_records:
+            self.flush()
+        elif (
+            self.flush_seconds is not None
+            and time.monotonic() - self._last_flush >= self.flush_seconds
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered records out as one segment (if any)."""
+        self._last_flush = time.monotonic()
+        if not self._buffer:
+            return
+        info = self.store.append_segment(self._buffer)
+        if info is not None:
+            self.records_written += info.n_records
+            self.segments_written += 1
+        self._buffer = []
+
+    def close(self) -> None:
+        self.flush()

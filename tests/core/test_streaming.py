@@ -115,6 +115,37 @@ class TestAlarms:
         with pytest.raises(ValueError):
             streaming.feed(_record(14.0))  # 6s late: past the window
 
+    def test_restart_mode_survives_a_time_regression(self):
+        """A live feed that jumps backward (clock reset, replay restarting
+        behind warm-started history) closes the stale run and starts a new
+        one instead of raising."""
+        closed = []
+        streaming = StreamingCoalescer(
+            window_seconds=5.0, time_regression="restart", on_close=closed.append
+        )
+        streaming.feed(_record(1000.0))
+        streaming.feed(_record(1002.0))
+        streaming.feed(_record(3.0))  # new timeline, far in the "past"
+        streaming.feed(_record(5.0))
+        assert len(closed) == 1  # the stale run closed at the jump
+        assert closed[0].time == 1000.0
+        errors = streaming.flush()
+        assert len(errors) == 1 + 1
+        assert {(e.time, e.n_raw) for e in errors} == {(1000.0, 2), (3.0, 2)}
+
+    def test_restart_mode_still_folds_in_window_late_records(self):
+        streaming = StreamingCoalescer(window_seconds=5.0, time_regression="restart")
+        streaming.feed(_record(10.0))
+        streaming.feed(_record(12.0))
+        streaming.feed(_record(9.0))  # 3s late: folded, not a restart
+        errors = streaming.flush()
+        assert len(errors) == 1
+        assert errors[0].n_raw == 3
+
+    def test_unknown_time_regression_policy_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingCoalescer(time_regression="ignore")
+
     def test_late_record_can_complete_an_alarm(self):
         streaming = StreamingCoalescer(window_seconds=5.0, alarm_after_seconds=6.0)
         streaming.feed(_record(10.0))

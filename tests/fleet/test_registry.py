@@ -40,6 +40,22 @@ class TestOnsetDetection:
         assert registry.open_runs() == 2
         assert registry.total_raw_lines() == 2
 
+    def test_time_regression_restarts_instead_of_crashing(self):
+        """A feed that jumps backward past the coalescing window (clock
+        reset, or a replayed feed restarting behind warm-started store
+        history) must keep ingesting — the live thread must never die on
+        one bad timestamp."""
+        registry = HealthRegistry(window_seconds=5.0, rate_window_seconds=3600.0)
+        registry.ingest(_record(100_000.0))
+        result = registry.ingest(_record(10.0))  # far behind the open run
+        assert result.onset  # a fresh run on the new timeline
+        assert len(result.closed) == 1  # the stale run was closed
+        health = registry.gpu("gpua001", "0000:07:00")
+        assert health.onsets == {95: 2}
+        # Rolling-rate state follows the new clock: the new onset is live.
+        assert health.last_seen == 10.0
+        assert health.error_rate_per_hour(3600.0) == pytest.approx(1.0)
+
     def test_closed_runs_surface_then_are_dropped(self):
         registry = HealthRegistry(window_seconds=5.0)
         registry.ingest(_record(0.0))

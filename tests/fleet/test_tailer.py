@@ -1,5 +1,6 @@
 """Live-log tailers: incremental polling, backpressure, merged streams."""
 
+import os
 import threading
 import time
 
@@ -47,6 +48,29 @@ class TestLogTailer:
         assert len(tailer.poll_records()) == 2
         path.write_text(_line(2.0) + "\n")  # rotated: smaller file
         assert [r.time for r in tailer.poll_records()] == [2.0]
+
+    def test_rotation_to_larger_replacement_reopens(self, tmp_path):
+        path = tmp_path / "node.log"
+        path.write_text(_line(0.0) + "\n")
+        tailer = LogTailer(path)
+        assert len(tailer.poll_records()) == 1
+        # Rotate: the path now names a brand-new file that is already
+        # *larger* than the old read offset.  A size-only heuristic would
+        # resume at the stale offset and stream garbage from the middle
+        # of the replacement; the inode check must reopen from the top.
+        os.replace(path, tmp_path / "node.log.1")
+        replacement = tmp_path / "node.log.new"
+        replacement.write_text(
+            "".join(_line(t, xid=31) + "\n" for t in (10.0, 11.0, 12.0))
+        )
+        os.replace(replacement, path)
+        records = tailer.poll_records()
+        assert [r.time for r in records] == [10.0, 11.0, 12.0]
+        assert all(r.xid == 31 for r in records)
+        # And the tailer keeps following the new file afterwards.
+        with open(path, "a") as handle:
+            handle.write(_line(13.0, xid=31) + "\n")
+        assert [r.time for r in tailer.poll_records()] == [13.0]
 
     def test_from_start_false_skips_existing_content(self, tmp_path):
         path = tmp_path / "node.log"

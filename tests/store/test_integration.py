@@ -1,0 +1,225 @@
+"""Store against the real pipeline: identity, workers, studies, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import DeltaStudy
+from repro.pipeline.engine import IngestPipeline
+from repro.pipeline.sources import FileSetSource
+from repro.store import EventStore, Query, StoreSource, StoreWriter
+
+
+@pytest.fixture(scope="module")
+def pipeline_stream(logs_dir):
+    """The reference: the pipeline's merged record stream over the logs."""
+    from repro.pipeline.extract import extract_records
+
+    return extract_records(FileSetSource(logs_dir), workers=1)
+
+
+@pytest.fixture(scope="module")
+def built_store(logs_dir, tmp_path_factory):
+    """One store ingested (workers=2) from the shared dataset's logs."""
+    directory = tmp_path_factory.mktemp("store") / "events"
+    store = EventStore.create(directory)
+    store.ingest(FileSetSource(logs_dir), workers=2, segment_records=500)
+    return store
+
+
+class TestPipelineIdentity:
+    def test_store_replays_the_pipeline_stream_exactly(
+        self, built_store, pipeline_stream
+    ):
+        # The store was built from the pipeline's merged stream; querying
+        # it back must reproduce that stream record-for-record.
+        assert list(built_store.query()) == pipeline_stream
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_ingest_worker_count_never_changes_content(
+        self, logs_dir, tmp_path, pipeline_stream, workers
+    ):
+        store = EventStore.create(tmp_path / "events")
+        store.ingest(
+            FileSetSource(logs_dir), workers=workers, segment_records=700
+        )
+        assert list(store.query()) == pipeline_stream
+
+    def test_identity_survives_compaction_and_reopen(
+        self, tmp_path, pipeline_stream
+    ):
+        # A private store: compaction mutates it, the shared one stays put.
+        store = EventStore.create(tmp_path / "events")
+        store.append(pipeline_stream, segment_records=500)
+        store.compact(threshold=1000)
+        reopened = EventStore.open(tmp_path / "events")
+        assert list(reopened.query()) == pipeline_stream
+
+
+class TestStoreSource:
+    def test_store_source_shards_prune(self, built_store):
+        window = built_store.time_span
+        midpoint = (window[0] + window[1]) / 2
+        source = StoreSource(built_store, query=Query(time_range=(midpoint, None)))
+        shards = source.shards()
+        assert 0 < len(shards) < built_store.n_segments
+        records = [r for shard in shards for r in shard.iter_records()]
+        assert records == list(built_store.query(Query(time_range=(midpoint, None))))
+
+    def test_source_is_reiterable(self, built_store):
+        source = StoreSource(built_store)
+        assert source.reiterable
+        first = [r for shard in source.shards() for r in shard.iter_records()]
+        second = [r for shard in source.shards() for r in shard.iter_records()]
+        assert first == second
+
+
+class TestStudyRoundTrip:
+    def test_to_store_from_store_reproduces_statistics(
+        self, study, dataset, tmp_path
+    ):
+        fresh = DeltaStudy.from_dataset(dataset)
+        store = fresh.to_store(tmp_path / "events", segment_records=900)
+        assert store.meta["n_nodes"] == study.n_nodes
+        restored = DeltaStudy.from_store(store)
+        assert restored.window_hours == study.window_hours
+        assert restored.n_gpus == study.n_gpus
+        assert restored.store_hash == store.content_hash()
+        ours = restored.error_statistics()
+        theirs = study.error_statistics()
+        assert ours.total_count == theirs.total_count
+        assert ours.counts() == theirs.counts()
+
+    def test_store_backed_study_streams_without_materializing(
+        self, built_store, dataset
+    ):
+        study = DeltaStudy.from_store(
+            built_store,
+            window_hours=dataset.window_seconds / 3600.0,
+            n_nodes=dataset.reference_node_count,
+        )
+        study.errors  # Stage I+II runs off the streaming path
+        assert study._records is None  # never materialized the raw stream
+
+    def test_from_store_requires_window_metadata(self, tmp_path):
+        store = EventStore.create(tmp_path / "events")
+        with pytest.raises(ValueError):
+            DeltaStudy.from_store(store)
+
+
+class TestStoreWriter:
+    def test_pipeline_consumer_persists_every_record(
+        self, logs_dir, tmp_path, pipeline_stream
+    ):
+        store = EventStore.create(tmp_path / "events")
+        writer = StoreWriter(store, segment_records=600)
+        pipeline = IngestPipeline(
+            FileSetSource(logs_dir), coalesce=None, consumers=(writer,)
+        )
+        pipeline.run()
+        assert writer.records_written == len(pipeline_stream)
+        assert list(store.query()) == pipeline_stream
+
+    def test_flush_on_close_loses_nothing(self, tmp_path, records):
+        store = EventStore.create(tmp_path / "events")
+        writer = StoreWriter(store, segment_records=1000)  # never auto-flushes
+        for record in records:
+            writer.on_record(record)
+        assert store.n_records == 0
+        writer.close()
+        assert store.n_records == len(records)
+
+
+class TestStoreCli:
+    @pytest.fixture()
+    def data_dir(self, tmp_path):
+        directory = tmp_path / "data"
+        assert main([
+            "synthesize", str(directory), "--scale", "0.004", "--seed", "3",
+        ]) == 0
+        return directory
+
+    def test_build_stats_query(self, data_dir, tmp_path, capsys):
+        store_dir = tmp_path / "events"
+        capsys.readouterr()
+        assert main([
+            "store", "build", str(data_dir), str(store_dir),
+            "--scale", "0.004", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "segment" in out
+
+        assert main(["store", "stats", str(store_dir), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_records"] > 0
+        assert stats["meta"]["scale"] == 0.004
+
+        assert main(["store", "query", str(store_dir), "--count"]) == 0
+        assert int(capsys.readouterr().out.strip()) == stats["n_records"]
+
+    def test_query_filters_and_prints_records(self, data_dir, tmp_path, capsys):
+        store_dir = tmp_path / "events"
+        main(["store", "build", str(data_dir), str(store_dir),
+              "--scale", "0.004", "--seed", "3"])
+        capsys.readouterr()
+        assert main([
+            "store", "query", str(store_dir), "--xids", "48", "--limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) <= 5
+        assert all("\t48\t" in line for line in lines)
+
+    def test_study_store_read_through_matches_plain(
+        self, data_dir, tmp_path, capsys
+    ):
+        base = ["study", "--dataset", str(data_dir), "--scale", "0.004",
+                "--seed", "3"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        store_flag = ["--store", str(tmp_path / "events")]
+        assert main(base + store_flag) == 0  # cold: builds the store
+        cold = capsys.readouterr().out
+        assert main(base + store_flag) == 0  # warm: reuses it
+        warm = capsys.readouterr().out
+        assert plain == cold == warm
+        assert EventStore.exists(tmp_path / "events")
+
+    def test_study_store_scale_mismatch_is_a_clean_error(
+        self, data_dir, tmp_path, capsys
+    ):
+        store_flag = ["--store", str(tmp_path / "events")]
+        main(["study", "--dataset", str(data_dir), "--scale", "0.004",
+              "--seed", "3"] + store_flag)
+        capsys.readouterr()
+        assert main(["study", "--dataset", str(data_dir), "--scale", "0.008",
+                     "--seed", "3"] + store_flag) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_experiment_manifest_records_store_hash(
+        self, data_dir, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "events"
+        capsys.readouterr()
+        assert main([
+            "experiment", "table1", "--scale", "0.004", "--seed", "3",
+            "--store", str(store_dir), "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = EventStore.open(store_dir).content_hash()
+        assert payload["manifest"]["config_hashes"]["store"] == expected
+
+    def test_serve_simulate_with_store_leaves_durable_history(
+        self, tmp_path, capsys
+    ):
+        logs = tmp_path / "logs"
+        store_dir = tmp_path / "events"
+        assert main([
+            "serve", str(logs), "--simulate", "--seed", "11",
+            "--store", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "store:" in out
+        store = EventStore.open(store_dir)
+        assert store.n_records > 0

@@ -1,0 +1,112 @@
+"""Segment files: columnar round trips, footers, structural validation."""
+
+import pytest
+
+from repro.store import SCHEMA_VERSION, SegmentCorruptError, StoreSchemaError
+from repro.store.segment import (
+    MAGIC,
+    encode_segment,
+    iter_segment_records,
+    read_columns,
+    read_footer,
+    write_segment,
+)
+
+from tests.store.conftest import make_record
+
+
+class TestRoundTrip:
+    def test_records_survive_encode_decode_exactly(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        info = write_segment(path, records)
+        assert info.n_records == 4
+        assert list(iter_segment_records(path)) == records
+
+    def test_rows_are_stable_sorted_by_time(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        shuffled = [records[3], records[0], records[1], records[2]]
+        write_segment(path, shuffled)
+        replayed = list(iter_segment_records(path))
+        assert [r.time for r in replayed] == [0.0, 1.0, 1.0, 5.0]
+        # The 1.0 tie keeps *input* order (sorted() is stable): the
+        # gpub002 record entered before the MMU-fault record.
+        assert [r.xid for r in replayed if r.time == 1.0] == [79, 31]
+
+    def test_none_pid_round_trips(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, records)
+        replayed = list(iter_segment_records(path))
+        assert replayed[1].pid is None
+        assert replayed[0].pid == 1234
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_segment([])
+
+
+class TestFooter:
+    def test_zone_map_describes_the_batch(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        info = write_segment(path, records)
+        footer = read_footer(path)
+        zone = footer["zone"]
+        assert zone["time_min"] == 0.0 and zone["time_max"] == 5.0
+        assert zone["xids"] == [31, 63, 79, 94]
+        assert zone["nodes"] == ["gpua001", "gpub002"]
+        assert "gpub002/0000:46:00" in zone["serials"]
+        assert info.zone["xids"] == (31, 63, 79, 94)
+
+    def test_dictionary_coding_dedupes_messages(self, tmp_path):
+        # 500 rows, 1 distinct message: the msg column is codes, the
+        # dictionary holds the string once.
+        batch = [make_record(float(t)) for t in range(500)]
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, batch)
+        footer = read_footer(path)
+        assert footer["dicts"]["msg"] == ["Row remap"]
+        columns = read_columns(path, footer)
+        assert len(columns) == 500
+
+    def test_footer_read_does_not_require_columns(self, tmp_path, records):
+        # Corrupt a column byte; the footer (tail) must still read fine.
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, records)
+        payload = bytearray(path.read_bytes())
+        payload[len(MAGIC) + 4] ^= 0xFF  # inside the first column array
+        path.write_bytes(bytes(payload))
+        assert read_footer(path)["n_records"] == 4
+
+
+class TestValidation:
+    def test_truncated_file_is_corrupt(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, records)
+        path.write_bytes(path.read_bytes()[:-9])  # clip the trailing magic
+        with pytest.raises(SegmentCorruptError):
+            read_footer(path)
+
+    def test_bad_leading_magic_is_corrupt(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, records)
+        payload = bytearray(path.read_bytes())
+        payload[0] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        with pytest.raises(SegmentCorruptError):
+            read_footer(path)
+
+    def test_non_segment_file_is_corrupt(self, tmp_path):
+        path = tmp_path / "seg-000001.seg"
+        path.write_bytes(b"this is not a segment at all, not even close")
+        with pytest.raises(SegmentCorruptError):
+            read_footer(path)
+
+    def test_future_schema_version_rejected(self, tmp_path, records):
+        path = tmp_path / "seg-000001.seg"
+        write_segment(path, records)
+        old = f'"schema":"{SCHEMA_VERSION}"'.encode()
+        new = old.replace(b"/1", b"/9")  # same length: framing stays valid
+        payload = path.read_bytes()
+        assert payload.count(old) == 1
+        path.write_bytes(payload.replace(old, new))
+        with pytest.raises(StoreSchemaError):
+            read_footer(path)
