@@ -1,0 +1,199 @@
+"""Benchmark the replay subsystem: throughput and determinism under load.
+
+Synthesizes a fleet history, ingests it into the columnar store, then
+replays it through the full live stack (registry -> rule engine ->
+persistence alarms) in unbounded mode and answers the question the
+subsystem exists for — *how much faster than real time can a stored
+history be re-lived?* — while verifying the determinism contract end
+to end:
+
+* two unbounded replays of the same history produce identical alert
+  streams (same rules, same event times, same order);
+* the backtest scorecard is byte-identical across repeated runs and
+  across a windowed :class:`ReplayCursor` stream vs a flat store query;
+* a paced replay under a virtual clock reports the same scorecard as
+  the unbounded one — wall time paces delivery, never decides.
+
+The gated figure is real-time multiple: replayed history span divided
+by the wall seconds the unbounded replay took.  A two-day trace that
+replays in two seconds scores 86,400x; the default gate asks for at
+least 50x, far below what the stack achieves but high enough to catch
+an accidental wall-clock sleep creeping into the hot path.
+
+Timings land in ``BENCH_replay.json``.  Standalone on purpose, and CI
+runs the same script in ``--smoke`` mode as a cheap contract check::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py            # full timing
+    PYTHONPATH=src python benchmarks/bench_replay.py --smoke    # CI check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datasets import synthesize_delta
+from repro.pipeline import FileSetSource
+from repro.replay import (
+    BacktestConfig,
+    ReplayEngine,
+    ReplayPacer,
+    VirtualClock,
+    run_backtest,
+)
+from repro.store import EventStore, ReplayCursor
+
+#: The acceptance gate: the unbounded replay must re-live history at
+#: least this many times faster than real time (skipped under --smoke).
+DEFAULT_MIN_REALTIME_MULTIPLE = 50.0
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale (fraction of the 855-day window)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_REALTIME_MULTIPLE,
+                        help="fail unless the real-time multiple reaches this")
+    parser.add_argument("--output", default="BENCH_replay.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset for CI: verifies determinism, "
+                        "skips the throughput gate")
+    return parser.parse_args(argv)
+
+
+def _backtest_bytes(store, *, pacer=None, source_factory=None) -> bytes:
+    factory = source_factory or (lambda: store.query())
+    result = run_backtest(
+        factory,
+        BacktestConfig(),
+        pacer=pacer,
+        source_label="bench",
+        source_fingerprint=store.content_hash(),
+    )
+    return result.render_json().encode()
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.01)
+
+    tmp = tempfile.TemporaryDirectory(prefix="bench-replay-")
+    logs_dir = Path(tmp.name) / "logs"
+    store_dir = Path(tmp.name) / "events"
+    print(f"synthesizing dataset (scale={args.scale}, seed={args.seed})...")
+    t0 = time.perf_counter()
+    dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+    paths = dataset.write_logs(logs_dir)
+    store = EventStore.create(store_dir)
+    store.ingest(FileSetSource(logs_dir), workers=1)
+    print(f"  {store.n_records:,} records from {len(paths)} node logs in "
+          f"{time.perf_counter() - t0:.1f} s")
+
+    # Warm pass: page cache + first-touch costs off the timed leg.
+    ReplayEngine().replay(store.query())
+
+    # The gated leg: unbounded replay of the full history through the
+    # live stack, timed on the wall clock.
+    t0 = time.perf_counter()
+    outcome = ReplayEngine().replay(store.query())
+    replay_seconds = time.perf_counter() - t0
+    span_seconds = outcome.span_seconds
+    realtime_multiple = (
+        span_seconds / replay_seconds if replay_seconds > 0 else float("inf")
+    )
+    records_per_second = (
+        outcome.records / replay_seconds if replay_seconds > 0 else 0.0
+    )
+
+    # Determinism contract, leg 1: identical alert streams.
+    second = ReplayEngine().replay(store.query())
+    alerts_identical = (
+        outcome.alerts == second.alerts
+        and outcome.onset_events == second.onset_events
+    )
+
+    # Leg 2: byte-identical scorecards across repeated runs and across
+    # the windowed cursor vs the flat query.
+    t0 = time.perf_counter()
+    scorecard = _backtest_bytes(store)
+    backtest_seconds = time.perf_counter() - t0
+    rerun_identical = _backtest_bytes(store) == scorecard
+    cursor_identical = _backtest_bytes(
+        store,
+        source_factory=lambda: ReplayCursor(
+            store, window_seconds=6 * 3600.0
+        ).iter_records(),
+    ) == scorecard
+
+    # Leg 3: pacing under a virtual clock changes nothing but delivery.
+    clock = VirtualClock()
+    paced = ReplayPacer(100.0, monotonic=clock.monotonic, sleep=clock.sleep)
+    paced_identical = _backtest_bytes(store, pacer=paced) == scorecard
+
+    determinism_ok = (
+        alerts_identical and rerun_identical
+        and cursor_identical and paced_identical
+    )
+
+    report = {
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "min_speedup": args.min_speedup,
+            "smoke": args.smoke,
+        },
+        "cpu_count": os.cpu_count(),
+        "n_records": outcome.records,
+        "n_alerts": len(outcome.alerts),
+        "n_onsets": outcome.onsets,
+        "n_alarms": outcome.alarms,
+        "n_serials": len(outcome.serials),
+        "history_span_seconds": round(span_seconds, 1),
+        "history_span_days": round(span_seconds / 86_400.0, 3),
+        "replay_seconds": round(replay_seconds, 4),
+        "realtime_multiple": round(realtime_multiple, 1),
+        "records_per_second": round(records_per_second, 1),
+        "backtest_seconds": round(backtest_seconds, 4),
+        "alerts_identical": alerts_identical,
+        "rerun_identical": rerun_identical,
+        "cursor_identical": cursor_identical,
+        "paced_identical": paced_identical,
+        "determinism_ok": determinism_ok,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"history    : {span_seconds / 86_400.0:.2f} days, "
+          f"{outcome.records:,} records, {len(outcome.serials)} GPUs")
+    print(f"replay     : {replay_seconds:7.2f} s   "
+          f"({realtime_multiple:,.0f}x real time, "
+          f"{records_per_second:,.0f} records/s)")
+    print(f"backtest   : {backtest_seconds:7.2f} s   "
+          f"({len(outcome.alerts)} alerts scored)")
+    print(f"alerts identical: {alerts_identical}  "
+          f"rerun identical: {rerun_identical}  "
+          f"cursor identical: {cursor_identical}  "
+          f"paced identical: {paced_identical}")
+    print(f"wrote {args.output}")
+
+    tmp.cleanup()
+    if not determinism_ok:
+        print("ERROR: replay determinism contract violated", file=sys.stderr)
+        return 1
+    if not args.smoke and realtime_multiple < args.min_speedup:
+        print(f"ERROR: real-time multiple {realtime_multiple:.1f}x below "
+              f"the {args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -195,6 +195,35 @@ class PersistencePredictor:
         normalized = (features - self._feature_mean) / self._feature_std
         return 1.0 / (1.0 + np.exp(-(normalized @ self.weights)))
 
+    def score_online(
+        self,
+        *,
+        xid: int,
+        early_lines: int,
+        early_mean_gap: float,
+        early_span: float,
+        gpu_prior_runs: int,
+    ) -> float:
+        """Score one *open* run from its online features alone.
+
+        The serving-side adapter: callers with a live open-run view (the
+        fleet registry, the replay engine) pass exactly the features
+        available while the run is still emitting — no
+        :class:`RunExample` with a placeholder label required.  Returns
+        P(run persists beyond the long threshold).
+        """
+        example = RunExample(
+            xid=xid,
+            gpu_key=("", ""),
+            start_time=0.0,
+            early_lines=early_lines,
+            early_mean_gap=early_mean_gap,
+            early_span=early_span,
+            gpu_prior_runs=gpu_prior_runs,
+            final_persistence=float("nan"),  # never read by the feature map
+        )
+        return float(self.predict_proba([example])[0])
+
     def predict(self, examples: Sequence[RunExample], threshold: float = 0.5) -> np.ndarray:
         return self.predict_proba(examples) >= threshold
 
@@ -217,3 +246,75 @@ class PersistencePredictor:
             "positives": int(labels.sum()),
             "predicted_positives": int(predictions.sum()),
         }
+
+
+# ---------------------------------------------------------------------------
+# Precision/recall curves (backtest scoring)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrPoint:
+    """One operating point of a score threshold sweep."""
+
+    threshold: float
+    precision: float
+    recall: float
+    predicted_positives: int
+
+
+def pr_curve(
+    labels: Sequence[bool],
+    scores: Sequence[float],
+    thresholds: Sequence[float],
+) -> List[PrPoint]:
+    """Precision/recall at each threshold of a fixed, explicit grid.
+
+    A fixed grid (rather than the scores' own unique values) keeps the
+    curve's shape — and its serialized bytes — stable across runs that
+    produce slightly different score sets, which is what a reproducible
+    scorecard needs.  Precision at a threshold nobody crosses is NaN-free:
+    it reports 1.0 with zero predicted positives, the conventional
+    degenerate point.
+    """
+    label_arr = np.asarray(labels, dtype=bool)
+    score_arr = np.asarray(scores, dtype=float)
+    if label_arr.shape != score_arr.shape:
+        raise ValueError("labels and scores must align")
+    n_positive = int(label_arr.sum())
+    points: List[PrPoint] = []
+    for threshold in thresholds:
+        predicted = score_arr >= threshold
+        tp = int(np.sum(predicted & label_arr))
+        n_predicted = int(predicted.sum())
+        precision = tp / n_predicted if n_predicted else 1.0
+        recall = tp / n_positive if n_positive else 0.0
+        points.append(
+            PrPoint(
+                threshold=float(threshold),
+                precision=float(precision),
+                recall=float(recall),
+                predicted_positives=n_predicted,
+            )
+        )
+    return points
+
+
+def average_precision(labels: Sequence[bool], scores: Sequence[float]) -> float:
+    """Area under the precision/recall curve (step-wise AP).
+
+    The standard ranking metric for heavily imbalanced labels — exactly
+    the long-persisting-run regime.  Ties break by stable sort, so equal
+    scores contribute deterministically.
+    """
+    label_arr = np.asarray(labels, dtype=bool)
+    score_arr = np.asarray(scores, dtype=float)
+    n_positive = int(label_arr.sum())
+    if n_positive == 0:
+        return 0.0
+    order = np.argsort(-score_arr, kind="stable")
+    ranked = label_arr[order]
+    cum_tp = np.cumsum(ranked)
+    ranks = np.arange(1, ranked.size + 1)
+    precision_at_rank = cum_tp / ranks
+    return float(np.sum(precision_at_rank[ranked]) / n_positive)

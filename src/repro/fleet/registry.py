@@ -17,6 +17,7 @@ ordering contract intact under concurrency.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field
@@ -183,6 +184,7 @@ class HealthRegistry:
         rate_window_seconds: float = 3_600.0,
         observe_seconds: float = 300.0,
         risk_scorer: Optional[RiskScorer] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -191,6 +193,12 @@ class HealthRegistry:
         self.n_shards = n_shards
         self.rate_window_seconds = rate_window_seconds
         self.risk_scorer = risk_scorer or default_risk_scorer
+        #: Wall-clock source for operational (non-analytic) readings; all
+        #: health state keys off record *event* time, so injecting a fake
+        #: clock never changes what the registry computes — only what
+        #: :meth:`ingest_age_seconds` reports.
+        self.clock = clock
+        self._last_ingest_wall: Optional[float] = None
         self._shards = [
             _Shard(
                 window_seconds=window_seconds,
@@ -244,6 +252,7 @@ class HealthRegistry:
             run_view = self._run_view(shard, record)
             if run_view is not None:
                 health.risk_score = float(self.risk_scorer(health, run_view))
+        self._last_ingest_wall = self.clock()
         return IngestResult(
             record=record, onset=onset, health=health, alarm=alarm, closed=closed
         )
@@ -311,6 +320,17 @@ class HealthRegistry:
 
     def persistence_alarms(self) -> int:
         return sum(len(s.coalescer.alarms) for s in self._shards)
+
+    def ingest_age_seconds(self) -> Optional[float]:
+        """Wall seconds since the last ingested record (feed staleness).
+
+        ``None`` until the first record lands.  Measured on the injected
+        clock, so a replay under a virtual clock reports virtual ages.
+        """
+        last = self._last_ingest_wall
+        if last is None:
+            return None
+        return max(0.0, self.clock() - last)
 
     def flush(self) -> List[CoalescedError]:
         """Close every open run (end of stream); returns the closed errors."""

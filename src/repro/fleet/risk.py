@@ -14,33 +14,29 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.parsing import iter_parse_syslog
-from repro.core.prediction import PersistencePredictor, RunExample, extract_runs
+from repro.core.prediction import PersistencePredictor, extract_runs
 from repro.fleet.registry import GpuHealth, OpenRunView, RiskScorer
 
 
 def predictor_scorer(predictor: PersistencePredictor) -> RiskScorer:
     """Adapt a fitted predictor into a registry risk scorer.
 
-    The returned callable builds one :class:`RunExample` from the live
-    open-run view (``final_persistence`` is a placeholder — it feeds only
-    the training labels, never the feature vector) and returns
-    P(run long-persists).
+    The returned callable feeds the live open-run view straight into the
+    predictor's online adapter
+    (:meth:`~repro.core.prediction.PersistencePredictor.score_online`)
+    and returns P(run long-persists).
     """
     if predictor.weights is None:
         raise ValueError("predictor must be fitted before serving risk scores")
 
     def score(health: GpuHealth, run: OpenRunView) -> float:
-        example = RunExample(
+        return predictor.score_online(
             xid=run.xid,
-            gpu_key=health.gpu_key,
-            start_time=run.start,
             early_lines=run.early_lines,
             early_mean_gap=run.early_mean_gap,
             early_span=run.early_span,
             gpu_prior_runs=max(health.total_onsets - 1, 0),
-            final_persistence=0.0,
         )
-        return float(predictor.predict_proba([example])[0])
 
     return score
 

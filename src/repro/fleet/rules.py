@@ -207,10 +207,34 @@ class JsonLinesSink:
 
 @dataclass
 class _RuleState:
-    """Per-(rule, scope-unit) sliding state."""
+    """Per-(rule, scope-unit) sliding state.
+
+    Every field is *event time*: windows, cooldowns, and dedup key off the
+    records' own timestamps, never the wall clock, so delivery pacing is
+    irrelevant — a trace replayed at 100x (or flat-out from a store)
+    fires exactly the alerts the live feed would have.
+    """
 
     onsets: Deque[float] = field(default_factory=deque)
     last_fired: float = float("-inf")
+    #: Latest event time observed for this scope unit (regression guard).
+    last_event: float = float("-inf")
+
+    def observe(self, event_time: float, horizon: float) -> None:
+        """Advance to ``event_time``; reset on a new-timeline jump.
+
+        A backward jump farther than ``horizon`` (the rule's full memory:
+        window plus cooldown) means the feed restarted on an earlier
+        timeline — a re-run demo emitter, a replay seeked back.  Carrying
+        the old cooldown across would suppress every alert of the new
+        pass, so the state starts over instead.
+        """
+        if event_time < self.last_event - horizon:
+            self.onsets.clear()
+            self.last_fired = float("-inf")
+            self.last_event = event_time
+        else:
+            self.last_event = max(self.last_event, event_time)
 
 
 class RuleEngine:
@@ -219,6 +243,11 @@ class RuleEngine:
     Thread-safety: one internal lock around all rule state — evaluation is
     cheap (a few deque operations per rule), so a single lock is simpler
     and safely serves multi-threaded ingestion.
+
+    Time base: purely *event time*.  All windows, precursor matches, and
+    cooldowns compare record timestamps with record timestamps; the wall
+    clock never enters, which is what makes accelerated replay (the
+    ``serve --simulate`` demo at >1x, ``repro-delta replay``) exact.
     """
 
     def __init__(
@@ -252,10 +281,14 @@ class RuleEngine:
                     continue
                 if rule.after_xid is not None:
                     seen = self._last_onset.get(gpu_key, {}).get(rule.after_xid)
-                    if seen is None or record.time - seen > rule.window_seconds:
+                    # The precursor must lie within the window *before* the
+                    # trigger; a "precursor" in the event-time future is a
+                    # leftover from a pre-regression timeline.
+                    if seen is None or not 0.0 <= record.time - seen <= rule.window_seconds:
                         continue
                 scope_key = gpu_key if rule.scope is Scope.GPU else (record.node_id, "")
                 state = self._state.setdefault((rule.name, scope_key), _RuleState())
+                state.observe(record.time, rule.window_seconds + rule.cooldown_seconds)
                 state.onsets.append(record.time)
                 cutoff = record.time - rule.window_seconds
                 while state.onsets and state.onsets[0] < cutoff:
@@ -287,6 +320,7 @@ class RuleEngine:
                 now = alarm.start_time + alarm.open_persistence
                 scope_key = gpu_key if rule.scope is Scope.GPU else (alarm.node_id, "")
                 state = self._state.setdefault((rule.name, scope_key), _RuleState())
+                state.observe(now, rule.window_seconds + rule.cooldown_seconds)
                 if now - state.last_fired < rule.cooldown_seconds:
                     continue
                 state.last_fired = now

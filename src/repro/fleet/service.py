@@ -90,8 +90,16 @@ class FleetHealthService:
         rules: Optional[Iterable[AlertRule]] = None,
         sinks: Sequence[AlertSink] = (),
         risk_scorer: Optional[RiskScorer] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config
+        #: Injectable wall-clock pair.  All *analytic* state keys off
+        #: record event time; the clock only feeds operational readings
+        #: (uptime, staleness, wait helpers), so tests and replay drivers
+        #: can substitute a virtual clock without changing results.
+        self.clock = clock
+        self.sleep = sleep
         self.registry = HealthRegistry(
             n_shards=config.n_shards,
             window_seconds=config.window_seconds,
@@ -99,10 +107,12 @@ class FleetHealthService:
             alarm_after_seconds=config.alarm_after_seconds,
             rate_window_seconds=config.rate_window_seconds,
             risk_scorer=risk_scorer,
+            clock=clock,
         )
         self.engine = RuleEngine(
             default_rules() if rules is None else rules, sinks=sinks
         )
+        self._sinks: Tuple[AlertSink, ...] = tuple(sinks)
         self.store = None
         self.store_writer = None
         self.records_replayed = 0
@@ -155,7 +165,7 @@ class FleetHealthService:
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
-        self.started_monotonic = time.monotonic()
+        self.started_monotonic = self.clock()
         if self.metrics_server is not None:
             self.metrics_server.start()
         self._replay_store()
@@ -176,6 +186,13 @@ class FleetHealthService:
             self._consumer.join(timeout)
         if self.metrics_server is not None:
             self.metrics_server.stop()
+        # File-backed sinks buffer alerts written from the ingest thread;
+        # closing them here guarantees the final flush regardless of how
+        # the service is driven (CLI, tests, or a replay harness).
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
 
     def _replay_store(self) -> None:
         """Warm-start the registry from durable history (restart path).
@@ -209,8 +226,11 @@ class FleetHealthService:
         extra = {}
         if self.started_monotonic is not None:
             extra["repro_fleet_uptime_seconds"] = (
-                time.monotonic() - self.started_monotonic
+                self.clock() - self.started_monotonic
             )
+        ingest_age = self.registry.ingest_age_seconds()
+        if ingest_age is not None:
+            extra["repro_fleet_ingest_age_seconds"] = ingest_age
         return render_prometheus(
             self.registry, self.engine, self.tailer, extra_gauges=extra
         )
@@ -227,11 +247,11 @@ class FleetHealthService:
         interval: float = 0.05,
     ) -> bool:
         """Poll until ``predicate(self)`` or timeout; True when satisfied."""
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
+        deadline = self.clock() + timeout
+        while self.clock() < deadline:
             if predicate(self):
                 return True
-            time.sleep(interval)
+            self.sleep(interval)
         return predicate(self)
 
     def wait_idle(
@@ -242,19 +262,19 @@ class FleetHealthService:
         "Quiet" = no new records ingested and the queue empty — the state
         a finished emitter leaves behind.  Returns False on timeout.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self.clock() + timeout
         last_count = -1
         quiet_since: Optional[float] = None
-        while time.monotonic() < deadline:
+        while self.clock() < deadline:
             count = self.records_ingested
             if count != last_count or self.tailer.queue_depth > 0:
                 last_count = count
                 quiet_since = None
             elif quiet_since is None:
-                quiet_since = time.monotonic()
-            elif time.monotonic() - quiet_since >= idle_for:
+                quiet_since = self.clock()
+            elif self.clock() - quiet_since >= idle_for:
                 return True
-            time.sleep(0.05)
+            self.sleep(0.05)
         return False
 
     def summary(self) -> dict:

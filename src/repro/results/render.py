@@ -246,7 +246,36 @@ def _render_pipeline_parity(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _render_replay_backtest(result: ExperimentResult) -> str:
+    v = result.values
+    header = [
+        result.title,
+        f"  history : {v['records_replayed']:,} records over "
+        f"{v['window_days']:.2f} days, {v['gpu_serials']} GPUs "
+        f"({v['gpu_days']:.1f} GPU-days)",
+        f"  truth   : {v['incidents']} critical incident(s) "
+        f"(XID-79 episodes)",
+        f"  alerts  : {v['alerts_total']} fired, {v['alerts_matched']} "
+        f"matched -> precision {v['alert_precision']:.2f}, "
+        f"incident recall {v['incident_recall']:.2f}",
+        f"  noise   : {v['false_alarms_per_gpu_day']:.4f} false alarms "
+        f"per GPU-day",
+        f"  lead    : median {v['median_lead_seconds']:.0f} s, "
+        f"max {v['max_lead_seconds']:.0f} s (per-incident best alert)",
+        f"  model   : AP {v['predictor_average_precision']:.3f} on "
+        f"{v['predictor_runs_test']} held-out runs "
+        f"({v['predictor_test_positives']} long-persisting; "
+        f"{v['predictor_runs_train']} trained on)",
+    ]
+    parts = ["\n".join(header)]
+    for table in result.tables:
+        if table.rows:
+            parts.append(_ascii_table(table))
+    return "\n\n".join(parts)
+
+
 RENDERERS: Dict[str, Callable[[ExperimentResult], str]] = {
+    "replay_backtest": _render_replay_backtest,
     "table1": _render_table1,
     "table2": _render_table2,
     "table3": _render_table3,

@@ -9,6 +9,7 @@ built from.  See ``docs/store.md`` for the format and recovery
 semantics.
 """
 
+from repro.store.cursor import DEFAULT_WINDOW_SECONDS, ReplayCursor
 from repro.store.manifest import MANIFEST_NAME, StoreManifest
 from repro.store.query import MATCH_ALL, Query, gpu_serial
 from repro.store.segment import (
@@ -27,7 +28,9 @@ from repro.store.writer import StoreWriter
 
 __all__ = [
     "DEFAULT_SEGMENT_RECORDS",
+    "DEFAULT_WINDOW_SECONDS",
     "EventStore",
+    "ReplayCursor",
     "MANIFEST_NAME",
     "MATCH_ALL",
     "Query",

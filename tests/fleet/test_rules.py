@@ -204,3 +204,83 @@ class TestSinksAndCatalog:
                 name="r", description="", action=Action.PAGE_SRE, xids=(1,)
             )
             RuleEngine([rule, rule])
+
+
+class TestEventTimeContract:
+    """Replay-grade guarantees: pure event time, regression-safe state."""
+
+    def test_accelerated_delivery_changes_nothing(self):
+        # The engine never reads the wall clock, so delivering a
+        # 100x-compressed trace (same event times, no wall delay between
+        # observes) fires exactly the same alerts.
+        rule = AlertRule(
+            name="r", description="", action=Action.RESET_GPU,
+            xids=(119,), min_count=3, window_seconds=3_600.0,
+            cooldown_seconds=600.0,
+        )
+        onsets = [0.0, 100.0, 200.0, 5_000.0, 5_100.0, 5_200.0]
+
+        def run():
+            engine, sink = _engine(rule)
+            for t in onsets:
+                engine.observe_onset(_record(t))
+            return [(a.time, a.rule) for a in sink.alerts]
+
+        assert run() == run() == [(200.0, "r"), (5_200.0, "r")]
+
+    def test_timeline_regression_resets_cooldown(self):
+        # A feed restart (re-run emitter, replay seeked back) jumps event
+        # time far backward; carrying the old cooldown across would
+        # silently suppress the whole new pass.
+        rule = AlertRule(
+            name="r", description="", action=Action.DRAIN_NODE,
+            xids=(79,), window_seconds=60.0, cooldown_seconds=3_600.0,
+        )
+        engine, sink = _engine(rule)
+        engine.observe_onset(_record(100_000.0, xid=79))
+        engine.observe_onset(_record(10.0, xid=79))  # new timeline
+        assert [a.time for a in sink.alerts] == [100_000.0, 10.0]
+
+    def test_small_jitter_does_not_reset(self):
+        # Backward jitter within the rule's memory horizon is ordinary
+        # arrival-order noise, not a restart: cooldown still applies.
+        rule = AlertRule(
+            name="r", description="", action=Action.DRAIN_NODE,
+            xids=(79,), window_seconds=60.0, cooldown_seconds=3_600.0,
+        )
+        engine, sink = _engine(rule)
+        engine.observe_onset(_record(10_000.0, xid=79))
+        engine.observe_onset(_record(9_990.0, xid=79))  # within cooldown
+        assert [a.time for a in sink.alerts] == [10_000.0]
+
+    def test_stale_precursor_from_old_timeline_ignored(self):
+        # A precursor recorded before a regression lies in the new
+        # timeline's *future*; it must not license a chain alert.
+        rule = AlertRule(
+            name="chain", description="", action=Action.RETIRE_PAGE_AUDIT,
+            xids=(63,), after_xid=48, window_seconds=3_600.0,
+        )
+        engine, sink = _engine(rule)
+        engine.observe_onset(_record(100_000.0, xid=48))
+        engine.observe_onset(_record(50.0, xid=63))  # regressed timeline
+        assert sink.alerts == []
+        engine.observe_onset(_record(60.0, xid=48))
+        engine.observe_onset(_record(70.0, xid=63))
+        assert [a.time for a in sink.alerts] == [70.0]
+
+    def test_alarm_rule_regression_resets_too(self):
+        rule = AlertRule(
+            name="tail", description="", action=Action.PAGE_SRE,
+            on_alarm=True, cooldown_seconds=3_600.0,
+        )
+        engine, sink = _engine(rule)
+
+        def alarm(start):
+            return PersistenceAlarm(
+                node_id="gpua001", pci_bus="0000:07:00", xid=95,
+                start_time=start, open_persistence=10.0, n_raw=5,
+            )
+
+        engine.observe_alarm(alarm(100_000.0))
+        engine.observe_alarm(alarm(20.0))  # restarted feed
+        assert len(sink.alerts) == 2

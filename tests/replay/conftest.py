@@ -1,0 +1,33 @@
+"""Replay fixtures: the demo trace as logs, records, and a built store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import LiveLogEmitter
+from repro.fleet.demo import demo_trace
+from repro.pipeline import FileSetSource, extract_records
+from repro.store import EventStore
+
+
+@pytest.fixture(scope="session")
+def demo_logs_dir(tmp_path_factory):
+    """The two-day demo trace written flat-out as per-node log files."""
+    directory = tmp_path_factory.mktemp("replay-demo-logs")
+    LiveLogEmitter.from_trace(demo_trace(seed=11), directory, seed=11).run()
+    return directory
+
+
+@pytest.fixture(scope="session")
+def demo_records(demo_logs_dir):
+    """The merged, time-ordered record stream of the demo logs."""
+    return extract_records(FileSetSource(demo_logs_dir), workers=1)
+
+
+@pytest.fixture(scope="session")
+def demo_store(demo_logs_dir, tmp_path_factory):
+    """The demo history ingested into a columnar store."""
+    directory = tmp_path_factory.mktemp("replay-demo-store")
+    store = EventStore.create(directory / "events")
+    store.ingest(FileSetSource(demo_logs_dir), workers=1)
+    return store

@@ -1,0 +1,94 @@
+"""ReplayCursor: windowed walks must replay the flat query stream."""
+
+import math
+
+import pytest
+
+from repro.store import EventStore, Query, ReplayCursor
+
+from tests.store.conftest import make_record
+
+
+def _spread(tmp_path, *, hours=30, per_hour=3):
+    """A store spanning ``hours`` hours, several records per hour."""
+    store = EventStore.create(tmp_path / "store")
+    records = [
+        make_record(
+            h * 3600.0 + i,
+            node=f"gpua{1 + (h + i) % 3:03d}",
+            xid=(31, 63, 79)[i % 3],
+        )
+        for h in range(hours)
+        for i in range(per_hour)
+    ]
+    store.append(records, segment_records=17)
+    return store, records
+
+
+class TestWindows:
+    def test_concatenation_equals_flat_query(self, tmp_path):
+        store, records = _spread(tmp_path)
+        walked = list(ReplayCursor(store, window_seconds=4 * 3600.0))
+        assert walked == list(store.query())
+        assert walked == records
+
+    def test_windows_are_half_open_and_cover_exactly_once(self, tmp_path):
+        store, records = _spread(tmp_path)
+        cursor = ReplayCursor(store, window_seconds=7 * 3600.0)
+        seen = []
+        for lo, hi, chunk in cursor.windows():
+            final = hi > cursor.time_max
+            for record in chunk:
+                assert lo <= record.time
+                if final:
+                    assert record.time <= cursor.time_max
+                else:
+                    assert record.time < hi
+            seen.extend(chunk)
+        assert seen == records
+        assert cursor.exhausted
+
+    def test_pushdown_query_respected_per_window(self, tmp_path):
+        store, records = _spread(tmp_path)
+        query = Query(xids={79})
+        walked = list(ReplayCursor(store, query=query, window_seconds=3600.0))
+        assert walked == [r for r in records if r.xid == 79]
+        assert walked == list(store.query(query))
+
+    def test_time_range_bounds_the_walk(self, tmp_path):
+        store, records = _spread(tmp_path)
+        lo, hi = 5 * 3600.0, 20 * 3600.0
+        query = Query(time_range=(lo, hi))
+        walked = list(ReplayCursor(store, query=query, window_seconds=3600.0))
+        assert walked == [r for r in records if lo <= r.time <= hi]
+
+    def test_seek_skips_earlier_history(self, tmp_path):
+        store, records = _spread(tmp_path)
+        cursor = ReplayCursor(store, window_seconds=3600.0)
+        cursor.seek(10 * 3600.0)
+        walked = list(cursor)
+        assert walked == [r for r in records if r.time >= 10 * 3600.0]
+
+    def test_empty_store_yields_nothing(self, tmp_path):
+        store = EventStore.create(tmp_path / "store")
+        cursor = ReplayCursor(store)
+        assert list(cursor) == []
+        assert cursor.exhausted
+        assert cursor.next_window() is None
+
+    def test_position_advances_monotonically(self, tmp_path):
+        store, _ = _spread(tmp_path, hours=5)
+        cursor = ReplayCursor(store, window_seconds=3600.0)
+        positions = [cursor.position]
+        while True:
+            window = cursor.next_window()
+            if window is None:
+                break
+            positions.append(cursor.position)
+        assert positions == sorted(positions)
+        assert math.isinf(cursor.position)
+
+    def test_rejects_bad_window(self, tmp_path):
+        store = EventStore.create(tmp_path / "store")
+        with pytest.raises(ValueError):
+            ReplayCursor(store, window_seconds=0.0)
