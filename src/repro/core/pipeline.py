@@ -102,6 +102,35 @@ class DeltaStudy:
         )
 
     @classmethod
+    def from_records(
+        cls,
+        records: Iterable[RawXidRecord],
+        *,
+        window_hours: float,
+        n_nodes: int,
+        **kwargs,
+    ) -> "DeltaStudy":
+        """Build over already-extracted records (Stage I pre-paid).
+
+        The session layer ships a parent study's record list to worker
+        processes this way: the list seeds the Stage-I cache directly,
+        so the rebuilt study coalesces and analyzes the exact records
+        the parent extracted — the identity behind parallel experiment
+        execution.
+        """
+        from repro.pipeline.sources import RecordsSource
+
+        records = list(records)
+        study = cls(
+            RecordsSource(records),
+            window_hours=window_hours,
+            n_nodes=n_nodes,
+            **kwargs,
+        )
+        study._records = records
+        return study
+
+    @classmethod
     def from_log_directory(
         cls,
         directory: str | Path,

@@ -360,12 +360,19 @@ EXPERIMENTS: Dict[str, Experiment] = {
 
 
 def _build_manifest(
-    identifier: str, ctx: ExperimentContext, extra_hashes: Dict[str, str]
+    identifier: str,
+    ctx: ExperimentContext,
+    extra_hashes: Dict[str, str],
+    run_digest: Optional[str] = None,
 ) -> RunManifest:
     from repro import __version__
 
     study = ctx.study
     hashes = {"coalesce": config_digest(study.coalesce_config)}
+    # Session-driven runs stamp the RunConfig digest: the manifest then
+    # names the exact wiring (scale/seed/dataset/store) that produced it.
+    if run_digest is not None:
+        hashes["run"] = run_digest
     # Store-backed studies carry the store's content hash: the manifest
     # then names the exact bytes Stage I read, not just a directory.
     store_hash = getattr(study, "store_hash", None)
@@ -394,11 +401,14 @@ def run_experiment(
     scale: float = 1.0,
     seed: int = 7,
     workers: int = 1,
+    run_digest: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one registered experiment against a prepared study.
 
     Returns the structured result with its :class:`RunManifest` attached;
     call :meth:`ExperimentResult.render_text` for the paper-style report.
+    ``run_digest`` (a :meth:`RunConfig.digest`) lands in the manifest's
+    ``config_hashes["run"]`` when the session layer drives the run.
     """
     experiment = EXPERIMENTS.get(identifier)
     if experiment is None:
@@ -411,7 +421,9 @@ def run_experiment(
     # Runners may attach a partial manifest carrying extra config hashes
     # (sweep digests, simulator configs); fold those into the full one.
     extra = dict(result.manifest.config_hashes) if result.manifest else {}
-    return result.with_manifest(_build_manifest(identifier, ctx, extra))
+    return result.with_manifest(
+        _build_manifest(identifier, ctx, extra, run_digest=run_digest)
+    )
 
 
 def list_experiments() -> List[Experiment]:

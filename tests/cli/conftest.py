@@ -1,0 +1,57 @@
+"""Fixtures resolving the registry's ExitCase placeholders.
+
+Each :class:`~repro.cli.registry.ExitCase` argv may reference
+``{dataset}``, ``{logs}``, ``{built_store}``, ``{demo_store}``,
+``{tmp}`` and ``{absent}``; the session-scoped fixtures here build the
+small shared artifacts once so the contract suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+#: The tiny dataset the contract cases run against.
+SCALE, SEED = "0.004", "3"
+
+
+@pytest.fixture(scope="session")
+def contract_dataset(tmp_path_factory):
+    """A synthesized dataset directory (logs + slurm.jsonl)."""
+    directory = tmp_path_factory.mktemp("cli-contract") / "data"
+    assert main(["synthesize", str(directory),
+                 "--scale", SCALE, "--seed", SEED]) == 0
+    return directory
+
+
+@pytest.fixture(scope="session")
+def contract_store(contract_dataset, tmp_path_factory):
+    """A store built from the contract dataset."""
+    directory = tmp_path_factory.mktemp("cli-contract-store") / "events"
+    assert main(["store", "build", str(contract_dataset), str(directory),
+                 "--scale", SCALE, "--seed", SEED]) == 0
+    return directory
+
+
+@pytest.fixture(scope="session")
+def contract_demo_store(tmp_path_factory):
+    """The replay demo trace ingested into a columnar store."""
+    base = tmp_path_factory.mktemp("cli-contract-demo")
+    assert main(["replay", "demo", str(base / "logs"), "--seed", "11"]) == 0
+    assert main(["store", "build", str(base / "logs"),
+                 str(base / "events")]) == 0
+    return base / "events"
+
+
+@pytest.fixture
+def placeholders(contract_dataset, contract_store, contract_demo_store,
+                 tmp_path):
+    return {
+        "dataset": contract_dataset,
+        "logs": contract_dataset / "logs",
+        "built_store": contract_store,
+        "demo_store": contract_demo_store,
+        "tmp": tmp_path,
+        "absent": tmp_path / "absent",
+    }
