@@ -1,0 +1,207 @@
+"""Benchmark the observability layer's overhead on the pipeline path.
+
+The ``repro.obs`` contract is that instrumentation costs (almost)
+nothing when disabled and never changes results when enabled.  This
+benchmark measures both claims on the Stage-I extraction path — the
+hottest instrumented loop (one ``span_iter`` item per record, one span
+per shard):
+
+* **stubbed** — ``obs.span``/``obs.add``/``obs.span_iter`` monkeypatched
+  to bare passthroughs, as if the instrumentation were never written;
+* **disabled** — the real module with no active tracer (the default
+  every user runs);
+* **enabled**  — a live tracer writing spans into a temp directory.
+
+The no-op overhead (disabled vs stubbed) gates at < 2%; the runs are
+interleaved and the minimum per mode is kept, which cancels cache and
+scheduler noise.  Identity is also checked: all three modes must extract
+byte-identical record streams.  Timings land in ``BENCH_obs.json``::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full timing
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI check
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.datasets import synthesize_delta
+from repro.pipeline import FileSetSource, extract_records
+
+#: The disabled path may cost at most this fraction over no
+#: instrumentation at all.
+MAX_NOOP_OVERHEAD = 0.02
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="dataset scale (1.0 = the paper's 855-day window)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--reps", type=int, default=5,
+                        help="interleaved repetitions per mode (min kept)")
+    parser.add_argument("--logs-dir", type=Path, default=None,
+                        help="reuse an existing synthesized log directory "
+                        "(default: synthesize into a temp dir)")
+    parser.add_argument("--output", default="BENCH_obs.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset for CI: identity still gates, "
+                        "the overhead bound becomes a warning (too noisy "
+                        "at smoke scale to fail on)")
+    return parser.parse_args(argv)
+
+
+def _stream_digest(records) -> str:
+    digest = hashlib.sha256()
+    for r in records:
+        digest.update(
+            f"{r.time!r}|{r.node_id}|{r.pci_bus}|{r.xid}|{r.pid}|{r.message}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+class _StubbedObs:
+    """Temporarily strip the instrumentation down to nothing at all."""
+
+    def __enter__(self):
+        self._span, self._add = obs.span, obs.add
+        self._span_iter = obs.span_iter
+        obs.span = lambda name, **attrs: obs.NULL_SPAN
+        obs.add = lambda name, value=1: None
+        obs.span_iter = (
+            lambda name, iterable, counter=None, **attrs: iter(iterable)
+        )
+        return self
+
+    def __exit__(self, *exc):
+        obs.span, obs.add, obs.span_iter = (
+            self._span, self._add, self._span_iter
+        )
+        return False
+
+
+def _run_extraction(logs_dir):
+    t0 = time.perf_counter()
+    records = extract_records(FileSetSource(logs_dir), workers=1)
+    elapsed = time.perf_counter() - t0
+    return elapsed, len(records), _stream_digest(records)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if args.smoke:
+        args.scale = min(args.scale, 0.01)
+        args.reps = min(args.reps, 3)
+
+    tmp = None
+    if args.logs_dir is not None:
+        logs_dir = args.logs_dir
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="bench-obs-")
+        logs_dir = Path(tmp.name) / "logs"
+        print(f"synthesizing dataset (scale={args.scale}, seed={args.seed})...")
+        t0 = time.perf_counter()
+        dataset = synthesize_delta(scale=args.scale, seed=args.seed)
+        paths = dataset.write_logs(logs_dir)
+        print(f"  wrote {len(paths)} node log files in "
+              f"{time.perf_counter() - t0:.1f} s")
+
+    # Warm the page cache so mode order does not charge anyone for cold I/O.
+    _run_extraction(logs_dir)
+
+    times = {"stubbed": [], "disabled": [], "enabled": []}
+    digests = {}
+    counts = {}
+    trace_tmp = tempfile.TemporaryDirectory(prefix="bench-obs-trace-")
+    for rep in range(args.reps):
+        with _StubbedObs():
+            elapsed, n, digest = _run_extraction(logs_dir)
+        times["stubbed"].append(elapsed)
+        digests.setdefault("stubbed", digest)
+        counts["stubbed"] = n
+
+        elapsed, n, digest = _run_extraction(logs_dir)
+        times["disabled"].append(elapsed)
+        digests.setdefault("disabled", digest)
+        counts["disabled"] = n
+
+        obs.activate(Path(trace_tmp.name) / f"rep{rep}", label="bench")
+        try:
+            elapsed, n, digest = _run_extraction(logs_dir)
+        finally:
+            obs.deactivate()
+        times["enabled"].append(elapsed)
+        digests.setdefault("enabled", digest)
+        counts["enabled"] = n
+        print(f"  rep {rep + 1}/{args.reps}: "
+              f"stubbed {times['stubbed'][-1]:.3f} s  "
+              f"disabled {times['disabled'][-1]:.3f} s  "
+              f"enabled {times['enabled'][-1]:.3f} s")
+
+    best = {mode: min(samples) for mode, samples in times.items()}
+    overhead_noop = (best["disabled"] - best["stubbed"]) / best["stubbed"]
+    overhead_enabled = (best["enabled"] - best["stubbed"]) / best["stubbed"]
+    identity_ok = len(set(digests.values())) == 1
+
+    report = {
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "reps": args.reps,
+            "smoke": args.smoke,
+        },
+        "cpu_count": os.cpu_count(),
+        "n_records": counts["disabled"],
+        "seconds": {
+            mode: [round(s, 4) for s in samples]
+            for mode, samples in times.items()
+        },
+        "best_seconds": {m: round(s, 4) for m, s in best.items()},
+        "overhead_noop": round(overhead_noop, 4),
+        "overhead_enabled": round(overhead_enabled, 4),
+        "max_noop_overhead": MAX_NOOP_OVERHEAD,
+        "identity_ok": identity_ok,
+        "stream_digest": digests["disabled"],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"extraction of {counts['disabled']:,} records (best of "
+          f"{args.reps}):")
+    print(f"  stubbed  : {best['stubbed']:7.3f} s   (no instrumentation)")
+    print(f"  disabled : {best['disabled']:7.3f} s   "
+          f"(no-op overhead {overhead_noop:+.2%})")
+    print(f"  enabled  : {best['enabled']:7.3f} s   "
+          f"(tracing overhead {overhead_enabled:+.2%})")
+    print(f"record streams identical across modes: {identity_ok}")
+    print(f"wrote {args.output}")
+
+    trace_tmp.cleanup()
+    if tmp is not None:
+        tmp.cleanup()
+    if not identity_ok:
+        print("ERROR: tracing changed the extracted record stream",
+              file=sys.stderr)
+        return 1
+    if overhead_noop > MAX_NOOP_OVERHEAD:
+        message = (f"no-op overhead {overhead_noop:.2%} exceeds the "
+                   f"{MAX_NOOP_OVERHEAD:.0%} bound")
+        if args.smoke:
+            print(f"WARNING: {message} (smoke scale is noisy; "
+                  "not failing)", file=sys.stderr)
+        else:
+            print(f"ERROR: {message}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

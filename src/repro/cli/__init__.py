@@ -16,7 +16,10 @@ registry — see :mod:`repro.cli.registry`):
 * ``monitor`` / ``serve`` — the live watchdog and fleet health service;
 * ``store`` — build / inspect / query the persistent columnar event
   store (``store build|stats|query|compact``);
-* ``replay`` — deterministic replay & backtest over stored history.
+* ``replay`` — deterministic replay & backtest over stored history;
+* ``trace`` — aggregate a ``--trace`` directory: per-subsystem wall
+  time, span trees, Chrome trace-event export
+  (``trace summary|tree|export``).
 
 Every run-wiring command goes through the session layer
 (:mod:`repro.session`): ``study``, ``experiment`` and ``verify`` accept
@@ -31,6 +34,13 @@ byte-identical to a serial run).
 and ``--output-dir DIR`` (which writes ``result.json`` + ``manifest.json``
 per run, plus ``result.svg`` where a chart is meaningful); ``verify
 --output-dir DIR`` archives the same artifacts per verified experiment.
+
+``study``, ``experiment``, ``verify``, ``simulate``, ``store`` and
+``replay`` accept ``--trace DIR`` (on ``store``/``replay`` it goes
+*before* the nested subcommand): the run writes a hierarchical span
+trace into DIR — one JSONL file per participating process, fan-out
+workers included — without changing a single output byte.  Inspect with
+``repro-delta trace summary|tree|export DIR``.
 
 Exit codes: 0 = success, 1 = a tolerance/gate failure (``verify``),
 2 = bad input or a store error.
@@ -48,10 +58,12 @@ from repro.cli import replay as _replay  # noqa: F401
 from repro.cli import sim as _sim  # noqa: F401
 from repro.cli import store as _store  # noqa: F401
 from repro.cli import study as _study  # noqa: F401
+from repro.cli import trace as _trace  # noqa: F401
 from repro.cli.registry import COMMANDS, CliError, build_parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import obs
     from repro.session import SessionError
     from repro.store import StoreError
 
@@ -60,8 +72,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = COMMANDS.get(args.command)
     if command is None:
         return 2
+    trace_dir = getattr(args, "trace", None)
     try:
+        if trace_dir is not None:
+            obs.activate(trace_dir)
+            with obs.span(f"cli.{args.command}"):
+                return command.run(args)
         return command.run(args)
     except (CliError, SessionError, StoreError) as error:
         print(f"error: {error}")
         return 2
+    finally:
+        obs.deactivate()

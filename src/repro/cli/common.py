@@ -49,6 +49,7 @@ def emit_result(result, args: argparse.Namespace) -> None:
 
 def parse_query_args(args: argparse.Namespace):
     """``--since/--until/--xids/--nodes/--serials`` into a store Query."""
+    from repro.cli.registry import CliError
     from repro.store import Query
     from repro.util.timeutil import parse_timestamp
 
@@ -58,7 +59,17 @@ def parse_query_args(args: argparse.Namespace):
         try:
             return float(text)
         except ValueError:
-            return parse_timestamp(text)
+            pass
+        try:
+            # Date-only form ("2022-03-01") means midnight that day.
+            return parse_timestamp(
+                text if "T" in text else f"{text}T00:00:00"
+            )
+        except (ValueError, IndexError):
+            raise CliError(
+                f"bad timestamp {text!r}: expected seconds, YYYY-MM-DD, "
+                "or YYYY-MM-DDTHH:MM:SS"
+            ) from None
 
     def _split(text: Optional[str]) -> Optional[List[str]]:
         if text is None:

@@ -135,7 +135,7 @@ register(Command(
     help="run one registered table/figure experiment (--all for every one)",
     run=_cmd_experiment,
     flags=Flags(scale=True, workers=_WORKERS_HELP, jobs=True, store=True,
-                output=True),
+                output=True, trace=True),
     configure=_configure_experiment,
     cases=(
         ExitCase("lists experiments", ("experiment",), 0),
@@ -155,7 +155,8 @@ register(Command(
     help="run the tolerance-annotated experiments and check every "
     "measured metric against its paper band (non-zero exit on a miss)",
     run=_cmd_verify,
-    flags=Flags(scale=True, workers=_WORKERS_HELP, jobs=True, store=True),
+    flags=Flags(scale=True, workers=_WORKERS_HELP, jobs=True, store=True,
+                trace=True),
     configure=_configure_verify,
     cases=(
         ExitCase("passes with relaxed bands",

@@ -54,6 +54,7 @@ class Flags:
     jobs: bool = False
     store: bool = False
     output: bool = False
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,13 @@ def add_output(parser: argparse.ArgumentParser) -> None:
                         "(+ result.svg where applicable) per run")
 
 
+def add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=Path, default=None, metavar="DIR",
+                        help="write a span/counter trace of this run into "
+                        "DIR (JSONL, one file per process; inspect with "
+                        "'repro-delta trace'; never changes results)")
+
+
 def _apply_flags(parser: argparse.ArgumentParser, flags: Flags) -> None:
     if flags.scale or flags.seed is not None:
         add_common(parser, scale=flags.scale,
@@ -132,6 +140,8 @@ def _apply_flags(parser: argparse.ArgumentParser, flags: Flags) -> None:
         add_store(parser)
     if flags.output:
         add_output(parser)
+    if flags.trace:
+        add_trace(parser)
 
 
 # ---------------------------------------------------------------------------

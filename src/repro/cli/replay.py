@@ -205,7 +205,9 @@ register(Command(
     "from stored history and score alerts/predictions against "
     "ground truth",
     run=_cmd_replay,
-    flags=Flags(),
+    # NB: --trace goes before the nested subcommand
+    # (repro-delta replay --trace DIR backtest ...).
+    flags=Flags(trace=True),
     configure=_configure_replay,
     cases=(
         ExitCase("demo trace to log files",

@@ -94,7 +94,7 @@ register(Command(
     help="what-if engine: Monte-Carlo sweep of a training job against "
     "the measured failure process under a recovery policy",
     run=_cmd_simulate,
-    flags=Flags(seed=7),
+    flags=Flags(seed=7, trace=True),
     configure=_configure_simulate,
     cases=(
         ExitCase("tiny sweep",

@@ -181,7 +181,9 @@ register(Command(
     help="persistent columnar event store: build once, slice by time "
     "window / XID / node / GPU without re-parsing raw logs",
     run=_cmd_store,
-    flags=Flags(),
+    # NB: --trace goes before the nested subcommand
+    # (repro-delta store --trace DIR query ...).
+    flags=Flags(trace=True),
     configure=_configure_store,
     cases=(
         ExitCase("stats on a built store",

@@ -129,6 +129,7 @@ register(Command(
         jobs=True,
         store=True,
         output=True,
+        trace=True,
     ),
     configure=_configure_study,
     cases=(

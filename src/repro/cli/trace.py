@@ -1,0 +1,131 @@
+"""Trace inspection commands: trace summary|tree|export.
+
+Aggregates a directory written by ``--trace DIR``: ``summary`` prints
+per-subsystem self time, per-span totals and the store's pushdown
+ratios; ``tree`` prints the stitched cross-process span forest;
+``export`` writes Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cli.registry import CliError, Command, ExitCase, Flags, register
+
+
+def _configure_trace(parser: argparse.ArgumentParser) -> None:
+    trace_sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    p_summary = trace_sub.add_parser(
+        "summary",
+        help="aggregate a trace directory: per-subsystem wall time, "
+        "span totals, store pruning ratios, counters",
+    )
+    p_summary.add_argument("trace_dir", type=Path)
+    p_summary.add_argument("--json", action="store_true",
+                           help="print the aggregate as JSON")
+
+    p_tree = trace_sub.add_parser(
+        "tree", help="print the span tree (fan-out workers re-parented "
+        "under their dispatching span)",
+    )
+    p_tree.add_argument("trace_dir", type=Path)
+    p_tree.add_argument("--depth", type=int, default=None,
+                        help="limit printed nesting depth")
+
+    p_export = trace_sub.add_parser(
+        "export",
+        help="write Chrome trace-event JSON (open in Perfetto)",
+    )
+    p_export.add_argument("trace_dir", type=Path)
+    p_export.add_argument("--output", type=Path, default=None,
+                          help="output file (default: "
+                          "<trace_dir>/trace.chrome.json)")
+
+
+def _load(directory: Path):
+    from repro.obs import read_trace_dir
+
+    try:
+        data = read_trace_dir(directory)
+    except FileNotFoundError as error:
+        raise CliError(str(error)) from None
+    if not data.metas and not data.spans:
+        raise CliError(f"no *.trace.jsonl files under {directory}")
+    return data
+
+
+def _warn_problems(data) -> None:
+    for name, lineno, message in data.problems:
+        print(f"warning: {name}:{lineno}: {message}", file=sys.stderr)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summary":
+        return _trace_summary(args)
+    if args.trace_command == "tree":
+        return _trace_tree(args)
+    if args.trace_command == "export":
+        return _trace_export(args)
+    return 2
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import render_summary, summarize
+
+    data = _load(args.trace_dir)
+    _warn_problems(data)
+    summary = summarize(data)
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _trace_tree(args: argparse.Namespace) -> int:
+    from repro.obs import render_tree
+
+    data = _load(args.trace_dir)
+    _warn_problems(data)
+    print(render_tree(data, max_depth=args.depth))
+    return 0
+
+
+def _trace_export(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace
+
+    data = _load(args.trace_dir)
+    _warn_problems(data)
+    output = args.output
+    if output is None:
+        output = args.trace_dir / "trace.chrome.json"
+    path = write_chrome_trace(data, output)
+    print(f"wrote {len(data.spans)} span event(s) to {path}")
+    return 0
+
+
+register(Command(
+    name="trace",
+    help="inspect a --trace directory: per-subsystem timing summary, "
+    "span tree, Chrome trace-event export",
+    run=_cmd_trace,
+    flags=Flags(),
+    configure=_configure_trace,
+    cases=(
+        ExitCase("summary over a traced run",
+                 ("trace", "summary", "{traced}"), 0),
+        ExitCase("span tree over a traced run",
+                 ("trace", "tree", "{traced}"), 0),
+        ExitCase("chrome export",
+                 ("trace", "export", "{traced}",
+                  "--output", "{tmp}/chrome.json"), 0),
+        ExitCase("missing trace directory",
+                 ("trace", "summary", "{absent}"), 2),
+    ),
+))

@@ -85,9 +85,17 @@ def render_prometheus(
     engine: Optional[RuleEngine] = None,
     tailer: Optional[DirectoryTailer] = None,
     extra_gauges: Optional[Dict[str, float]] = None,
+    counters: Optional[Dict[str, float]] = None,
 ) -> str:
-    """One scrape of the fleet health service's state."""
+    """One scrape of the fleet health service's state.
+
+    ``counters`` is a snapshot of the service's ``repro.obs``
+    :class:`~repro.obs.metrics.CounterSet` — the self-observability
+    series (``fleet.records_ingested``, ``store.flushes`` /
+    ``store.flush_seconds`` / ``store.records_written``).
+    """
     out = _MetricsBuilder()
+    counters = counters or {}
     snapshot: List[GpuHealth] = registry.snapshot()
 
     out.metric(
@@ -95,10 +103,16 @@ def render_prometheus(
         "GPUs with at least one XID record ingested.",
         [({}, float(len(snapshot)))],
     )
+    # Prefer the service's own ingest counter (counts every record the
+    # feed consumed, even for GPUs later evicted from the registry);
+    # fall back to the registry's per-GPU line totals.
+    ingested = counters.get(
+        "fleet.records_ingested", float(sum(h.raw_lines for h in snapshot))
+    )
     out.metric(
         "repro_fleet_records_ingested_total", "counter",
         "Raw NVRM Xid lines ingested into the health registry.",
-        [({}, float(sum(h.raw_lines for h in snapshot)))],
+        [({}, float(ingested))],
     )
     onsets = registry.onset_counts()
     out.metric(
@@ -187,6 +201,23 @@ def render_prometheus(
             "Records waiting in the bounded ingest queue (backpressure "
             "boundary).",
             [({}, float(tailer.queue_depth))],
+        )
+
+    if "store.flushes" in counters:
+        out.metric(
+            "repro_fleet_store_flushes_total", "counter",
+            "Segment flushes performed by the durable store writer.",
+            [({}, float(counters["store.flushes"]))],
+        )
+        out.metric(
+            "repro_fleet_store_flush_seconds_total", "counter",
+            "Wall seconds spent flushing segments to the store.",
+            [({}, float(counters.get("store.flush_seconds", 0.0)))],
+        )
+        out.metric(
+            "repro_fleet_store_records_written_total", "counter",
+            "Records persisted into the store by the writer.",
+            [({}, float(counters.get("store.records_written", 0.0)))],
         )
 
     for name, value in (extra_gauges or {}).items():

@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.core.parsing import RawXidRecord
 from repro.fleet.exposition import MetricsServer, render_prometheus
+from repro.obs import CounterSet
 from repro.fleet.registry import HealthRegistry, RiskScorer
 from repro.fleet.rules import AlertRule, AlertSink, RuleEngine, default_rules
 from repro.pipeline.engine import Consumer, IngestPipeline
@@ -74,6 +75,7 @@ class _RegistryFeed(Consumer):
         service = self.service
         result = service.registry.ingest(record)
         service.records_ingested += 1
+        service.counters.inc("fleet.records_ingested")
         if result.onset:
             service.engine.observe_onset(record, result.health)
         if result.alarm is not None:
@@ -113,6 +115,10 @@ class FleetHealthService:
             default_rules() if rules is None else rules, sinks=sinks
         )
         self._sinks: Tuple[AlertSink, ...] = tuple(sinks)
+        #: Self-observability counters (``fleet.records_ingested`` plus
+        #: the store writer's ``store.*`` series), snapshotted per
+        #: ``/metrics`` scrape.
+        self.counters = CounterSet()
         self.store = None
         self.store_writer = None
         self.records_replayed = 0
@@ -125,6 +131,7 @@ class FleetHealthService:
                 self.store,
                 segment_records=config.store_segment_records,
                 flush_seconds=config.store_flush_seconds,
+                counters=self.counters,
             )
             if config.warm_start and self.store.n_records:
                 # History is already durable: replay it into the registry
@@ -232,7 +239,11 @@ class FleetHealthService:
         if ingest_age is not None:
             extra["repro_fleet_ingest_age_seconds"] = ingest_age
         return render_prometheus(
-            self.registry, self.engine, self.tailer, extra_gauges=extra
+            self.registry,
+            self.engine,
+            self.tailer,
+            extra_gauges=extra,
+            counters=self.counters.values(),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,56 @@
+"""Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+
+One ``ph: "X"`` complete event per span, timestamps and durations in
+microseconds, plus ``ph: "M"`` process-name metadata events so the
+Perfetto track names read ``main`` / ``worker`` instead of bare pids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.obs.reader import TraceData
+
+
+def to_chrome_events(data: TraceData) -> List[dict]:
+    events: List[dict] = []
+    for meta in data.metas:
+        events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": meta["pid"],
+            "tid": 0,
+            "args": {"name": f"{meta.get('label', '?')} ({meta['pid']})"},
+        })
+    spans = sorted(data.spans, key=lambda s: s["start"])
+    for span in spans:
+        args = {}
+        if span.get("attrs"):
+            args.update(span["attrs"])
+        if span.get("counters"):
+            args.update(span["counters"])
+        events.append({
+            "ph": "X",
+            "name": span["name"],
+            "cat": span["name"].split(".", 1)[0],
+            "pid": span["pid"],
+            "tid": span["tid"],
+            "ts": span["start"] * 1e6,
+            "dur": span["dur"] * 1e6,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(data: TraceData, path: str | Path) -> Path:
+    """Write ``{"traceEvents": [...]}`` JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": to_chrome_events(data),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path

@@ -1,0 +1,268 @@
+"""Read, aggregate and render trace directories.
+
+A trace directory holds one ``*.trace.jsonl`` file per participating
+process.  The reader stitches them back together: span ids are globally
+unique (``pid.seq``), and worker files carry a ``parent`` meta pointing
+at the dispatching span, so the cross-process tree reassembles without
+any coordination at write time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.core import TRACE_FILE_SUFFIX
+from repro.obs.schema import validate_record
+
+
+@dataclass
+class TraceData:
+    """Everything parsed out of one trace directory."""
+
+    spans: List[dict] = field(default_factory=list)
+    metas: List[dict] = field(default_factory=list)
+    counter_records: List[dict] = field(default_factory=list)
+    #: ``(file, line_number, message)`` for malformed lines/records.
+    problems: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def trace_ids(self) -> List[str]:
+        return sorted({m.get("trace") for m in self.metas if m.get("trace")})
+
+    def counters(self) -> Dict[str, float]:
+        """All counters in the trace, merged (span-scoped + orphans)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            for key, value in (span.get("counters") or {}).items():
+                totals[key] = totals.get(key, 0) + value
+        for record in self.counter_records:
+            for key, value in (record.get("counters") or {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+def read_trace_dir(directory: str | Path) -> TraceData:
+    """Parse every trace file under ``directory`` (non-recursive)."""
+    directory = Path(directory)
+    data = TraceData()
+    if not directory.is_dir():
+        raise FileNotFoundError(f"trace directory not found: {directory}")
+    for path in sorted(directory.glob(f"*{TRACE_FILE_SUFFIX}")):
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    data.problems.append((path.name, lineno, f"bad JSON: {exc}"))
+                    continue
+                issues = validate_record(record)
+                if issues:
+                    data.problems.append(
+                        (path.name, lineno, "; ".join(issues))
+                    )
+                    continue
+                kind = record["kind"]
+                if kind == "span":
+                    data.spans.append(record)
+                elif kind == "meta":
+                    data.metas.append(record)
+                else:
+                    data.counter_records.append(record)
+    return data
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def subsystem_of(name: str) -> str:
+    """Span names are dotted; the prefix before the first dot groups them."""
+    return name.split(".", 1)[0]
+
+
+def summarize(data: TraceData) -> dict:
+    """Aggregate a trace: per-span and per-subsystem wall time, counters.
+
+    Subsystem seconds use **self time** (span duration minus the summed
+    duration of its direct children), so nested spans are not double
+    counted and the per-subsystem column adds up to real wall time.
+    """
+    by_id = {s["id"]: s for s in data.spans}
+    child_seconds: Dict[str, float] = {}
+    for span in data.spans:
+        parent = span.get("parent")
+        if parent in by_id:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + span["dur"]
+
+    per_span: Dict[str, dict] = {}
+    per_subsystem: Dict[str, dict] = {}
+    for span in data.spans:
+        self_seconds = max(0.0, span["dur"] - child_seconds.get(span["id"], 0.0))
+        entry = per_span.setdefault(
+            span["name"], {"calls": 0, "seconds": 0.0, "self_seconds": 0.0}
+        )
+        entry["calls"] += 1
+        entry["seconds"] += span["dur"]
+        entry["self_seconds"] += self_seconds
+        sub = per_subsystem.setdefault(
+            subsystem_of(span["name"]), {"spans": 0, "self_seconds": 0.0}
+        )
+        sub["spans"] += 1
+        sub["self_seconds"] += self_seconds
+
+    roots = [s for s in data.spans if s.get("parent") not in by_id]
+    wall = 0.0
+    if roots:
+        start = min(s["start"] for s in roots)
+        end = max(s["start"] + s["dur"] for s in roots)
+        wall = end - start
+
+    counters = data.counters()
+    summary = {
+        "trace_ids": data.trace_ids,
+        "processes": len(data.metas),
+        "n_spans": len(data.spans),
+        "wall_seconds": wall,
+        "spans": per_span,
+        "subsystems": per_subsystem,
+        "counters": counters,
+        "pruning": pruning_ratios(counters),
+        "problems": len(data.problems),
+    }
+    return summary
+
+
+def pruning_ratios(counters: Dict[str, float]) -> dict:
+    """The store's pushdown effectiveness, from its counters."""
+    planned = counters.get("store.segments_planned", 0)
+    pruned = counters.get("store.segments_pruned", 0)
+    scanned = counters.get("store.rows_scanned", 0)
+    matched = counters.get("store.rows_matched", 0)
+    return {
+        "segments_planned": planned,
+        "segments_pruned": pruned,
+        "segments_pruned_fraction": (pruned / planned) if planned else None,
+        "rows_scanned": scanned,
+        "rows_matched": matched,
+        "rows_matched_fraction": (matched / scanned) if scanned else None,
+    }
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_summary(summary: dict) -> str:
+    lines: List[str] = []
+    ids = ", ".join(summary["trace_ids"]) or "(none)"
+    lines.append(f"trace {ids}")
+    lines.append(
+        f"  {summary['n_spans']} spans over {summary['processes']} process(es), "
+        f"wall {summary['wall_seconds']:.3f} s"
+    )
+    lines.append("")
+    lines.append("per-subsystem self time")
+    lines.append(f"  {'subsystem':<12} {'spans':>7} {'self s':>10}")
+    for name in sorted(
+        summary["subsystems"],
+        key=lambda n: -summary["subsystems"][n]["self_seconds"],
+    ):
+        sub = summary["subsystems"][name]
+        lines.append(
+            f"  {name:<12} {sub['spans']:>7} {sub['self_seconds']:>10.3f}"
+        )
+    lines.append("")
+    lines.append("per-span totals")
+    lines.append(f"  {'span':<32} {'calls':>7} {'total s':>10} {'self s':>10}")
+    for name in sorted(
+        summary["spans"], key=lambda n: -summary["spans"][n]["seconds"]
+    ):
+        entry = summary["spans"][name]
+        lines.append(
+            f"  {name:<32} {entry['calls']:>7} "
+            f"{entry['seconds']:>10.3f} {entry['self_seconds']:>10.3f}"
+        )
+    pruning = summary["pruning"]
+    if pruning["segments_planned"] or pruning["rows_scanned"]:
+        lines.append("")
+        lines.append("store pushdown")
+        frac = pruning["segments_pruned_fraction"]
+        lines.append(
+            f"  segments pruned : {pruning['segments_pruned']:.0f} / "
+            f"{pruning['segments_planned']:.0f}"
+            + (f"  ({frac:.1%})" if frac is not None else "")
+        )
+        frac = pruning["rows_matched_fraction"]
+        lines.append(
+            f"  rows matched    : {pruning['rows_matched']:.0f} / "
+            f"{pruning['rows_scanned']:.0f}"
+            + (f"  ({frac:.1%})" if frac is not None else "")
+        )
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters")
+        for key in sorted(summary["counters"]):
+            value = summary["counters"][key]
+            rendered = f"{value:.6g}" if value != int(value) else f"{int(value):,}"
+            lines.append(f"  {key:<32} {rendered:>14}")
+    if summary["problems"]:
+        lines.append("")
+        lines.append(f"WARNING: {summary['problems']} malformed record(s)")
+    return "\n".join(lines)
+
+
+def build_tree(data: TraceData) -> List[dict]:
+    """Nest spans into forests keyed by parent id (cross-process too).
+
+    Returns the root nodes, each ``{"span": record, "children": [...]}``,
+    ordered by start time.
+    """
+    nodes = {
+        s["id"]: {"span": s, "children": []} for s in data.spans
+    }
+    roots: List[dict] = []
+    for span in data.spans:
+        node = nodes[span["id"]]
+        parent = span.get("parent")
+        if parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    def sort(children: List[dict]) -> None:
+        children.sort(key=lambda n: n["span"]["start"])
+        for child in children:
+            sort(child["children"])
+    sort(roots)
+    return roots
+
+
+def render_tree(data: TraceData, *, max_depth: Optional[int] = None) -> str:
+    labels = {m.get("pid"): m.get("label", "?") for m in data.metas}
+    lines: List[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        span = node["span"]
+        indent = "  " * depth
+        extra = ""
+        if span.get("counters"):
+            bits = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(span["counters"].items())
+            )
+            extra = f"  [{bits}]"
+        proc = labels.get(span["pid"], "?")
+        lines.append(
+            f"{indent}{span['name']}  {span['dur']*1000:.1f} ms"
+            f"  ({proc}/{span['pid']}){extra}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in build_tree(data):
+        walk(root, 0)
+    return "\n".join(lines)

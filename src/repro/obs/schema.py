@@ -1,0 +1,89 @@
+"""Schema validation for trace records (``repro.obs/1``).
+
+Hand-rolled like the results schema: one function per record kind,
+returning a list of problems (empty = valid).  The trace CLI and the
+identity tests both run every emitted record through this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+#: Record kinds a trace file may contain.
+RECORD_KINDS = ("meta", "span", "counters")
+
+_META_REQUIRED = {
+    "kind": str,
+    "schema": str,
+    "trace": str,
+    "pid": int,
+    "label": str,
+    "created": (int, float),
+}
+
+_SPAN_REQUIRED = {
+    "kind": str,
+    "trace": str,
+    "id": str,
+    "name": str,
+    "start": (int, float),
+    "dur": (int, float),
+    "pid": int,
+    "tid": int,
+}
+
+_COUNTERS_REQUIRED = {
+    "kind": str,
+    "trace": str,
+    "pid": int,
+    "counters": dict,
+}
+
+
+def _check_fields(record: Mapping, required: Mapping, problems: List[str]) -> None:
+    for field, types in required.items():
+        if field not in record:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(record[field], types):
+            problems.append(
+                f"field {field!r} has type {type(record[field]).__name__}"
+            )
+
+
+def validate_record(record: object) -> List[str]:
+    """Return problems with one parsed trace record (empty = valid)."""
+    if not isinstance(record, Mapping):
+        return ["record is not an object"]
+    kind = record.get("kind")
+    if kind not in RECORD_KINDS:
+        return [f"unknown record kind {kind!r}"]
+    problems: List[str] = []
+    if kind == "meta":
+        _check_fields(record, _META_REQUIRED, problems)
+        from repro.obs.core import SCHEMA_VERSION
+
+        if record.get("schema") not in (None, SCHEMA_VERSION):
+            problems.append(
+                f"unsupported schema {record.get('schema')!r}"
+            )
+    elif kind == "span":
+        _check_fields(record, _SPAN_REQUIRED, problems)
+        if isinstance(record.get("dur"), (int, float)) and record["dur"] < 0:
+            problems.append("negative duration")
+        if "attrs" in record and not isinstance(record["attrs"], dict):
+            problems.append("field 'attrs' is not an object")
+        if "counters" in record and not isinstance(record["counters"], dict):
+            problems.append("field 'counters' is not an object")
+        counters = record.get("counters")
+        if isinstance(counters, dict):
+            for key, value in counters.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(f"counter {key!r} is not numeric")
+    else:  # counters
+        _check_fields(record, _COUNTERS_REQUIRED, problems)
+        counters = record.get("counters")
+        if isinstance(counters, dict):
+            for key, value in counters.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(f"counter {key!r} is not numeric")
+    return problems

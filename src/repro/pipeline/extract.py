@@ -25,13 +25,22 @@ import multiprocessing
 import operator
 from typing import Iterator, List
 
+from repro import obs
 from repro.core.parsing import RawXidRecord
 from repro.pipeline.sources import Source
 
 
 def _parse_shard(shard) -> List[RawXidRecord]:
     """Fully parse one shard (module-level so pool workers can pickle it)."""
-    return list(shard.iter_records())
+    with obs.span("pipeline.extract.shard") as span:
+        records = list(shard.iter_records())
+        span.add("pipeline.shard_records", len(records))
+        return records
+
+
+def _init_extract_worker(context) -> None:
+    """Pool initializer: adopt the parent's trace context (or none)."""
+    obs.activate_context(context)
 
 
 def iter_source_records(source: Source, *, workers: int = 1) -> Iterator[RawXidRecord]:
@@ -52,18 +61,36 @@ def iter_source_records(source: Source, *, workers: int = 1) -> Iterator[RawXidR
     if workers > 1 and source.parallelizable and len(shards) > 1:
         n_workers = min(workers, len(shards))
         chunksize = max(1, len(shards) // (n_workers * 4))
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            streams: List[List[RawXidRecord]] = pool.map(
-                _parse_shard, shards, chunksize=chunksize
-            )
+        with obs.span("pipeline.extract", shards=len(shards), workers=n_workers):
+            # Captured inside the span so worker root spans parent here.
+            context = obs.current_context(label="extract")
+            with multiprocessing.Pool(
+                processes=n_workers,
+                initializer=_init_extract_worker,
+                initargs=(context,),
+            ) as pool:
+                streams: List[List[RawXidRecord]] = pool.map(
+                    _parse_shard, shards, chunksize=chunksize
+                )
     else:
         streams = [shard.iter_records() for shard in shards]  # type: ignore[misc]
 
     if source.merge_by_time and len(shards) > 1:
-        yield from heapq.merge(*streams, key=operator.attrgetter("time"))
+        yield from obs.span_iter(
+            "pipeline.merge",
+            heapq.merge(*streams, key=operator.attrgetter("time")),
+            counter="pipeline.records",
+            shards=len(shards),
+        )
     else:
-        for stream in streams:
-            yield from stream
+        yield from obs.span_iter(
+            "pipeline.concat", _chain(streams), counter="pipeline.records"
+        )
+
+
+def _chain(streams) -> Iterator[RawXidRecord]:
+    for stream in streams:
+        yield from stream
 
 
 def extract_records(source: Source, *, workers: int = 1) -> List[RawXidRecord]:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
+from repro import obs
 from repro.core.coalesce import CoalesceConfig, CoalescedError, coalesce_errors
 from repro.core.parsing import RawXidRecord
 from repro.core.streaming import PersistenceAlarm, StreamingCoalescer
@@ -61,7 +62,9 @@ class VectorizedCoalesce(CoalesceStage):
         self.config = config or CoalesceConfig()
 
     def run(self, records: Iterable[RawXidRecord]) -> CoalesceOutcome:
-        errors = coalesce_errors(records, self.config)
+        with obs.span("pipeline.coalesce", engine=self.name) as span:
+            errors = coalesce_errors(records, self.config)
+            span.add("pipeline.errors", len(errors))
         return CoalesceOutcome(errors=errors, n_errors=len(errors))
 
 
@@ -114,10 +117,12 @@ class StreamingCoalesce(CoalesceStage):
             on_close=_count_closed,
             time_regression=self.time_regression,
         )
-        for alarm in coalescer.feed_many(records):
-            if self.on_alarm is not None:
-                self.on_alarm(alarm)
-        errors = coalescer.flush()
+        with obs.span("pipeline.coalesce", engine=self.name) as span:
+            for alarm in coalescer.feed_many(records):
+                if self.on_alarm is not None:
+                    self.on_alarm(alarm)
+            errors = coalescer.flush()
+            span.add("pipeline.errors", n_closed)
         return CoalesceOutcome(
             errors=errors, n_errors=n_closed, alarms=list(coalescer.alarms)
         )

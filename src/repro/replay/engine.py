@@ -121,40 +121,49 @@ class ReplayEngine:
 
     def replay(self, records: Iterable[RawXidRecord]) -> ReplayOutcome:
         """Deliver the stream; returns the complete outcome."""
+        from repro import obs
+
         pacer = self.pacer
         outcome = ReplayOutcome()
         onset_events: List[OnsetEvent] = []
         serials: Dict[Tuple[str, str], None] = {}
         wall_start: Optional[float] = None
-        for record in records:
-            pacer.wait_until(record.time)
-            if wall_start is None:
-                wall_start = pacer.monotonic()
-            result = self.registry.ingest(record)
-            outcome.records += 1
-            serials.setdefault(record.gpu_key)
-            if outcome.time_min is None or record.time < outcome.time_min:
-                outcome.time_min = record.time
-            if outcome.time_max is None or record.time > outcome.time_max:
-                outcome.time_max = record.time
-            if result.onset:
-                outcome.onsets += 1
-                onset_events.append(
-                    OnsetEvent(
-                        time=record.time,
-                        node_id=record.node_id,
-                        pci_bus=record.pci_bus,
-                        xid=record.xid,
+        waited_before = pacer.waited
+        with obs.span("replay.replay", speed=pacer.speed) as span:
+            for record in records:
+                pacer.wait_until(record.time)
+                if wall_start is None:
+                    wall_start = pacer.monotonic()
+                result = self.registry.ingest(record)
+                outcome.records += 1
+                serials.setdefault(record.gpu_key)
+                if outcome.time_min is None or record.time < outcome.time_min:
+                    outcome.time_min = record.time
+                if outcome.time_max is None or record.time > outcome.time_max:
+                    outcome.time_max = record.time
+                if result.onset:
+                    outcome.onsets += 1
+                    onset_events.append(
+                        OnsetEvent(
+                            time=record.time,
+                            node_id=record.node_id,
+                            pci_bus=record.pci_bus,
+                            xid=record.xid,
+                        )
                     )
-                )
-                self.engine.observe_onset(record, result.health)
-            if result.alarm is not None:
-                outcome.alarms += 1
-                self.engine.observe_alarm(result.alarm)
-        if wall_start is not None:
-            outcome.wall_seconds = pacer.monotonic() - wall_start
-        outcome.alerts = tuple(self._memory.alerts)
-        outcome.onset_events = tuple(onset_events)
-        # Insertion (= first-seen) order keeps the tuple deterministic.
-        outcome.serials = tuple(serials)
+                    self.engine.observe_onset(record, result.health)
+                if result.alarm is not None:
+                    outcome.alarms += 1
+                    self.engine.observe_alarm(result.alarm)
+            if wall_start is not None:
+                outcome.wall_seconds = pacer.monotonic() - wall_start
+            outcome.alerts = tuple(self._memory.alerts)
+            outcome.onset_events = tuple(onset_events)
+            # Insertion (= first-seen) order keeps the tuple deterministic.
+            outcome.serials = tuple(serials)
+            span.add("replay.records", outcome.records)
+            span.add("replay.onsets", outcome.onsets)
+            span.add("replay.alarms", outcome.alarms)
+            span.add("replay.alerts", len(outcome.alerts))
+            span.add("replay.waited_seconds", pacer.waited - waited_before)
         return outcome

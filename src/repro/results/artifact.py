@@ -235,7 +235,15 @@ class ResultTable:
 
 @dataclass(frozen=True)
 class RunManifest:
-    """Provenance of one run: everything needed to reproduce it."""
+    """Provenance of one run: everything needed to reproduce it.
+
+    ``trace`` is observability metadata (trace id plus a per-span
+    wall-time summary), not provenance: it varies run to run even for
+    identical configurations, so it is **excluded** from the default
+    serialization and never participates in ``config_hashes`` or any
+    identity gate.  Trace-stamped manifests (``to_dict(with_trace=True)``)
+    are written only into the trace directory itself.
+    """
 
     run_id: str
     seed: Optional[int] = None
@@ -249,17 +257,27 @@ class RunManifest:
     config_hashes: Mapping[str, str] = field(default_factory=dict)
     package_version: str = ""
     created_unix: Optional[float] = None
+    trace: Optional[Mapping[str, object]] = None
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, *, with_trace: bool = False) -> Dict[str, object]:
         data = asdict(self)
         data["config_hashes"] = dict(self.config_hashes)
+        if with_trace and self.trace is not None:
+            data["trace"] = dict(self.trace)
+        else:
+            data.pop("trace", None)
         return data
+
+    def stamped(self, trace: Mapping[str, object]) -> "RunManifest":
+        """A copy carrying a trace summary (see class docstring)."""
+        return replace(self, trace=dict(trace))
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
         known = {f: data.get(f) for f in (
             "run_id", "seed", "scale", "workers", "window_hours", "n_nodes",
             "n_gpus", "engine", "dataset", "package_version", "created_unix",
+            "trace",
         )}
         known["config_hashes"] = dict(data.get("config_hashes") or {})
         known["run_id"] = str(known["run_id"])
@@ -414,6 +432,9 @@ RESULT_SCHEMA: Dict[str, object] = {
         "n_nodes": "int|null", "n_gpus": "int|null", "engine": "str|null",
         "dataset": "str|null", "config_hashes": {"<name>": "str"},
         "package_version": "str", "created_unix": "float|null",
+        # "trace" (trace id + per-span summary) appears only in
+        # trace-directory manifests (to_dict(with_trace=True)) — never in
+        # result.json / manifest.json, never in config_hashes.
     },
 }
 

@@ -48,12 +48,19 @@ class StudySpec:
     coalesce_config: object = None
     store_hash: Optional[str] = None
     dataset_label: Optional[str] = None
+    #: Trace context (``repro.obs.TraceContext``) when the dispatching
+    #: process is tracing; workers re-activate it so their spans land in
+    #: the same trace directory, parented under the dispatch span.
+    trace: object = None
 
 
 def spec_for(session: "Session") -> StudySpec:
     """Capture the session's study as a worker-shippable spec."""
+    from repro import obs
+
     study = session.study
     common = dict(
+        trace=obs.current_context(label="job"),
         window_hours=float(study.window_hours),
         n_nodes=int(study.n_nodes),
         n_gpus=study.n_gpus,
@@ -111,22 +118,33 @@ _WORKER: Dict[str, object] = {}
 
 
 def _init_worker(spec: StudySpec) -> None:
+    from repro import obs
+
+    obs.activate_context(spec.trace)  # type: ignore[arg-type]
     _WORKER["spec"] = spec
-    _WORKER["study"] = rebuild_study(spec)
+    with obs.span("session.study.rebuild"):
+        _WORKER["study"] = rebuild_study(spec)
 
 
 def _run_one(identifier: str) -> "ExperimentResult":
+    from repro import obs
     from repro.experiments import run_experiment
 
     spec: StudySpec = _WORKER["spec"]  # type: ignore[assignment]
-    return run_experiment(
-        identifier,
-        _WORKER["study"],  # type: ignore[arg-type]
-        scale=spec.scale,
-        seed=spec.seed,
-        workers=spec.workers,
-        run_digest=spec.run_digest,
-    )
+    tracer = obs.active()
+    before = tracer.snapshot() if tracer is not None else None
+    with obs.span("session.experiment", experiment=identifier):
+        result = run_experiment(
+            identifier,
+            _WORKER["study"],  # type: ignore[arg-type]
+            scale=spec.scale,
+            seed=spec.seed,
+            workers=spec.workers,
+            run_digest=spec.run_digest,
+        )
+    if tracer is not None:
+        result = obs.stamp_result(result, tracer=tracer, before=before)
+    return result
 
 
 # -- parent side -----------------------------------------------------------
@@ -141,8 +159,13 @@ def run_parallel(
     exactly as the serial path would produce it regardless of which
     worker finishes first.
     """
-    spec = spec_for(session)
-    with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=(spec,)
-    ) as pool:
-        return list(pool.map(_run_one, identifiers))
+    from repro import obs
+
+    with obs.span("session.dispatch", jobs=jobs, experiments=len(identifiers)):
+        # The spec captures the trace context *inside* the dispatch span,
+        # so worker spans re-parent under it when the trace is read back.
+        spec = spec_for(session)
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(spec,)
+        ) as pool:
+            return list(pool.map(_run_one, identifiers))

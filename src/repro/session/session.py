@@ -57,11 +57,16 @@ class Session:
                 "session reads an on-disk dataset; there is no in-memory one"
             )
         if self._dataset is None:
+            from repro import obs
             from repro.datasets import synthesize_delta
 
-            self._dataset = synthesize_delta(
-                scale=self.config.scale, seed=self.config.seed
-            )
+            with obs.span(
+                "session.dataset.synthesize",
+                scale=self.config.scale, seed=self.config.seed,
+            ):
+                self._dataset = synthesize_delta(
+                    scale=self.config.scale, seed=self.config.seed
+                )
         return self._dataset
 
     @property
@@ -108,7 +113,10 @@ class Session:
     def study(self) -> "DeltaStudy":
         """The run's :class:`DeltaStudy`, built once and cached."""
         if self._study is None:
-            self._study = self._build_study()
+            from repro import obs
+
+            with obs.span("session.study.build"):
+                self._study = self._build_study()
         return self._study
 
     def _build_study(self) -> "DeltaStudy":
@@ -182,17 +190,29 @@ class Session:
     # ------------------------------------------------------------------
 
     def run(self, identifier: str) -> "ExperimentResult":
-        """Run one registered experiment against the session's study."""
+        """Run one registered experiment against the session's study.
+
+        When tracing is active the result's manifest is stamped with the
+        spans/counters this experiment produced (trace-directory copy
+        only — the default serialization stays byte-identical).
+        """
+        from repro import obs
         from repro.experiments import run_experiment
 
-        return run_experiment(
-            identifier,
-            self.study,
-            scale=self.scale,
-            seed=self.config.seed,
-            workers=self.config.workers,
-            run_digest=self.config.digest(),
-        )
+        tracer = obs.active()
+        before = tracer.snapshot() if tracer is not None else None
+        with obs.span("session.experiment", experiment=identifier):
+            result = run_experiment(
+                identifier,
+                self.study,
+                scale=self.scale,
+                seed=self.config.seed,
+                workers=self.config.workers,
+                run_digest=self.config.digest(),
+            )
+        if tracer is not None:
+            result = obs.stamp_result(result, tracer=tracer, before=before)
+        return result
 
     def run_many(
         self, identifiers: Sequence[str], *, jobs: Optional[int] = None

@@ -318,23 +318,43 @@ def read_columns(path: str | Path, footer: Optional[dict] = None) -> SegmentColu
 def iter_segment_records(
     path: str | Path, query: Query = MATCH_ALL
 ) -> Iterator[RawXidRecord]:
-    """Stream a segment's matching records in stored (time) order."""
-    columns = read_columns(path)
-    yield from decode_records(columns, query)
+    """Stream a segment's matching records in stored (time) order.
+
+    Still a generator — consumers interleave segments lazily, so the
+    full store is never resident.  The scan span covers the column
+    decode plus the vectorized residual predicate (the I/O- and
+    numpy-bound part); row materialization streams outside it.
+    """
+    from repro import obs
+
+    path = Path(path)
+    with obs.span("store.segment.scan", segment=path.name) as span:
+        columns = read_columns(path)
+        if query.unconstrained:
+            indices: object = range(len(columns))
+        else:
+            indices = query.mask(columns).nonzero()[0].tolist()
+        span.add("store.segments_opened", 1)
+        span.add("store.rows_scanned", len(columns))
+        span.add("store.rows_matched", len(indices))  # type: ignore[arg-type]
+    yield from decode_records(columns, query, indices=indices)
 
 
 def decode_records(
-    columns: SegmentColumns, query: Query = MATCH_ALL
+    columns: SegmentColumns, query: Query = MATCH_ALL, indices=None
 ) -> Iterator[RawXidRecord]:
     """Materialize rows back into :class:`RawXidRecord` objects.
 
     The residual predicate runs vectorized first; only surviving rows pay
-    the per-object construction cost.
+    the per-object construction cost.  ``indices`` lets a caller that
+    already evaluated the mask (the scan span above) pass the surviving
+    row positions instead of paying for it twice.
     """
-    if query.unconstrained:
-        indices = range(len(columns))
-    else:
-        indices = query.mask(columns).nonzero()[0].tolist()
+    if indices is None:
+        if query.unconstrained:
+            indices = range(len(columns))
+        else:
+            indices = query.mask(columns).nonzero()[0].tolist()
 
     times = columns.time.tolist()
     xids = columns.xid.tolist()

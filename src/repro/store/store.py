@@ -293,12 +293,17 @@ class EventStore:
 
     def plan(self, query: Query = MATCH_ALL) -> Tuple[List[SegmentInfo], int]:
         """(segments that may match, number pruned by zone maps)."""
+        from repro import obs
+
         candidates = [
             entry
             for entry in self.manifest.segments
             if query.matches_zone(entry.zone)
         ]
-        return candidates, len(self.manifest.segments) - len(candidates)
+        pruned = len(self.manifest.segments) - len(candidates)
+        obs.add("store.segments_planned", len(self.manifest.segments))
+        obs.add("store.segments_pruned", pruned)
+        return candidates, pruned
 
     def query(self, query: Query = MATCH_ALL) -> Iterator[RawXidRecord]:
         """Matching records in global timestamp order.

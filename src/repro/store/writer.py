@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from repro import obs
 from repro.core.parsing import RawXidRecord
 from repro.pipeline.engine import Consumer
 from repro.store.store import DEFAULT_SEGMENT_RECORDS, EventStore
@@ -28,6 +29,7 @@ class StoreWriter(Consumer):
         *,
         segment_records: int = DEFAULT_SEGMENT_RECORDS,
         flush_seconds: Optional[float] = None,
+        counters=None,
     ) -> None:
         if segment_records < 1:
             raise ValueError("segment_records must be >= 1")
@@ -36,6 +38,12 @@ class StoreWriter(Consumer):
         self.flush_seconds = flush_seconds
         self.records_written = 0
         self.segments_written = 0
+        self.flushes = 0
+        self.flush_seconds_total = 0.0
+        #: Optional :class:`repro.obs.CounterSet` fed per flush
+        #: (``store.flushes`` / ``store.flush_seconds`` /
+        #: ``store.records_written``) for ``/metrics`` self-observability.
+        self.counters = counters
         self._buffer: List[RawXidRecord] = []
         self._last_flush = time.monotonic()
 
@@ -51,14 +59,27 @@ class StoreWriter(Consumer):
 
     def flush(self) -> None:
         """Write the buffered records out as one segment (if any)."""
-        self._last_flush = time.monotonic()
+        start = time.monotonic()
+        self._last_flush = start
         if not self._buffer:
             return
         info = self.store.append_segment(self._buffer)
+        n_written = 0
         if info is not None:
+            n_written = info.n_records
             self.records_written += info.n_records
             self.segments_written += 1
         self._buffer = []
+        elapsed = time.monotonic() - start
+        self.flushes += 1
+        self.flush_seconds_total += elapsed
+        if self.counters is not None:
+            self.counters.inc("store.flushes")
+            self.counters.inc("store.flush_seconds", elapsed)
+            if n_written:
+                self.counters.inc("store.records_written", n_written)
+        obs.add("store.flushes")
+        obs.add("store.flush_seconds", elapsed)
 
     def close(self) -> None:
         self.flush()

@@ -44,14 +44,25 @@ def contract_demo_store(tmp_path_factory):
     return base / "events"
 
 
+@pytest.fixture(scope="session")
+def contract_trace(contract_dataset, tmp_path_factory):
+    """A --trace directory left behind by a traced study run."""
+    directory = tmp_path_factory.mktemp("cli-contract-trace") / "spans"
+    assert main(["study", "--dataset", str(contract_dataset),
+                 "--scale", SCALE, "--seed", SEED,
+                 "--trace", str(directory)]) == 0
+    return directory
+
+
 @pytest.fixture
 def placeholders(contract_dataset, contract_store, contract_demo_store,
-                 tmp_path):
+                 contract_trace, tmp_path):
     return {
         "dataset": contract_dataset,
         "logs": contract_dataset / "logs",
         "built_store": contract_store,
         "demo_store": contract_demo_store,
+        "traced": contract_trace,
         "tmp": tmp_path,
         "absent": tmp_path / "absent",
     }

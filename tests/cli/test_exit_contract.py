@@ -49,7 +49,7 @@ def test_registry_is_complete():
     """The parser and the registry agree on the command set."""
     expected = {"synthesize", "study", "overprovision", "figures",
                 "experiment", "verify", "simulate", "monitor", "serve",
-                "store", "replay"}
+                "store", "replay", "trace"}
     assert set(COMMANDS) == expected
 
 

@@ -1,0 +1,33 @@
+"""Fixtures for the observability suite.
+
+The identity tests run real CLI study/simulate invocations, so they get
+one shared on-disk dataset (scale 0.004 — a few hundred log files).
+Every test leaves the module-level tracer deactivated; the autouse
+guard below makes sure a failing test can't leak an active tracer into
+its neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+SCALE, SEED = "0.004", "3"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+@pytest.fixture(scope="session")
+def obs_dataset(tmp_path_factory):
+    """A small synthesized dataset directory for traced CLI runs."""
+    directory = tmp_path_factory.mktemp("obs-dataset") / "data"
+    assert main(["synthesize", str(directory),
+                 "--scale", SCALE, "--seed", SEED]) == 0
+    return directory

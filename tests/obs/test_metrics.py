@@ -1,0 +1,108 @@
+"""CounterSet, the store writer's flush series, and /metrics exposition."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.parsing import RawXidRecord
+from repro.fleet.exposition import render_prometheus
+from repro.fleet.registry import HealthRegistry
+from repro.obs import CounterSet
+from repro.store import EventStore, StoreWriter
+
+
+def _record(t, node="gpua001", pci="0000:07:00", xid=95, msg="m"):
+    return RawXidRecord(
+        time=float(t), node_id=node, pci_bus=pci, xid=xid, message=msg
+    )
+
+
+class TestCounterSet:
+    def test_inc_get_and_values(self):
+        counters = CounterSet()
+        counters.inc("a")
+        counters.inc("a", 2.5)
+        counters.inc("b", 4)
+        assert counters.get("a") == 3.5
+        assert counters.get("missing") == 0.0
+        assert counters.values() == {"a": 3.5, "b": 4.0}
+
+    def test_values_returns_a_snapshot_copy(self):
+        counters = CounterSet()
+        counters.inc("a")
+        snap = counters.values()
+        counters.inc("a")
+        assert snap == {"a": 1.0}
+
+    def test_thread_safety(self):
+        counters = CounterSet()
+
+        def bump():
+            for _ in range(1000):
+                counters.inc("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("n") == 8000
+
+
+class TestStoreWriterCounters:
+    def test_flush_feeds_the_counter_set(self, tmp_path):
+        counters = CounterSet()
+        store = EventStore.open_or_create(tmp_path / "events")
+        writer = StoreWriter(store, segment_records=2, counters=counters)
+        for i in range(5):
+            writer.on_record(_record(float(i)))
+        writer.close()
+        values = counters.values()
+        # 5 records at segment_records=2: two full flushes + close.
+        assert values["store.flushes"] == 3
+        assert values["store.records_written"] == 5
+        assert values["store.flush_seconds"] >= 0
+        assert writer.flushes == 3
+        assert writer.flush_seconds_total >= 0
+
+    def test_writer_works_without_counters(self, tmp_path):
+        store = EventStore.open_or_create(tmp_path / "events")
+        writer = StoreWriter(store, segment_records=10)
+        writer.on_record(_record(1.0))
+        writer.close()
+        assert writer.flushes == 1
+        assert store.n_records == 1
+
+
+class TestExpositionSeries:
+    def test_ingest_counter_prefers_the_counter_set(self):
+        registry = HealthRegistry(window_seconds=5.0)
+        registry.ingest(_record(0.0))
+        counters = {"fleet.records_ingested": 42.0}
+        text = render_prometheus(registry, counters=counters)
+        assert "repro_fleet_records_ingested_total 42" in text
+
+    def test_ingest_counter_falls_back_to_registry_lines(self):
+        registry = HealthRegistry(window_seconds=5.0)
+        registry.ingest(_record(0.0))
+        registry.ingest(_record(100.0))
+        text = render_prometheus(registry)
+        assert "repro_fleet_records_ingested_total 2" in text
+
+    def test_store_flush_series_rendered_when_present(self):
+        registry = HealthRegistry(window_seconds=5.0)
+        counters = {
+            "store.flushes": 3.0,
+            "store.flush_seconds": 0.25,
+            "store.records_written": 120.0,
+        }
+        text = render_prometheus(registry, counters=counters)
+        assert "# TYPE repro_fleet_store_flushes_total counter" in text
+        assert "repro_fleet_store_flushes_total 3" in text
+        assert "repro_fleet_store_flush_seconds_total 0.25" in text
+        assert "repro_fleet_store_records_written_total 120" in text
+
+    def test_store_series_absent_without_counters(self):
+        registry = HealthRegistry(window_seconds=5.0)
+        text = render_prometheus(registry)
+        assert "repro_fleet_store_flushes_total" not in text

@@ -1,0 +1,181 @@
+"""Reader, aggregation, tree stitching and Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    build_tree,
+    read_trace_dir,
+    render_summary,
+    render_tree,
+    summarize,
+    to_chrome_events,
+    write_chrome_trace,
+)
+from repro.obs.reader import pruning_ratios, subsystem_of
+
+
+@pytest.fixture
+def traced_dir(tmp_path):
+    """A two-'process' trace: main dispatches, a worker context runs."""
+    obs.activate(tmp_path, label="main")
+    with obs.span("cli.run"):
+        with obs.span("session.dispatch") as dispatch:
+            context = obs.current_context(label="job")
+        with obs.span("store.segment.scan") as scan:
+            scan.add("store.rows_scanned", 100)
+            scan.add("store.rows_matched", 25)
+        obs.add("store.segments_planned", 4)
+        obs.add("store.segments_pruned", 3)
+    obs.deactivate()
+    obs.activate_context(context)
+    with obs.span("session.experiment", experiment="table1"):
+        pass
+    obs.deactivate()
+    return tmp_path, dispatch.span_id
+
+
+class TestReadTraceDir:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace_dir(tmp_path / "nope")
+
+    def test_reads_spans_metas_and_trace_ids(self, traced_dir):
+        directory, _ = traced_dir
+        data = read_trace_dir(directory)
+        assert len(data.metas) == 2
+        assert {s["name"] for s in data.spans} == {
+            "cli.run", "session.dispatch", "store.segment.scan",
+            "session.experiment",
+        }
+        assert len(data.trace_ids) == 1  # one logical trace, two files
+        assert data.problems == []
+
+    def test_malformed_lines_become_problems_not_crashes(self, tmp_path):
+        path = tmp_path / "bad-1-x.trace.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"kind": "span", "trace": "t"})  # missing fields
+            + "\n"
+            + json.dumps({"kind": "meta", "schema": "repro.obs/1",
+                          "trace": "t", "pid": 1, "label": "main",
+                          "created": 1.0})
+            + "\n",
+            encoding="utf-8",
+        )
+        data = read_trace_dir(tmp_path)
+        assert len(data.problems) == 2
+        assert len(data.metas) == 1
+
+    def test_counters_merges_span_scoped_and_orphans(self, traced_dir):
+        directory, _ = traced_dir
+        counters = read_trace_dir(directory).counters()
+        assert counters["store.rows_scanned"] == 100
+        assert counters["store.segments_pruned"] == 3
+
+
+class TestSummarize:
+    def test_subsystem_of(self):
+        assert subsystem_of("store.segment.scan") == "store"
+        assert subsystem_of("flat") == "flat"
+
+    def test_self_time_subtracts_direct_children(self, traced_dir):
+        directory, _ = traced_dir
+        summary = summarize(read_trace_dir(directory))
+        cli = summary["spans"]["cli.run"]
+        assert cli["calls"] == 1
+        # self < total: the dispatch + scan children are subtracted.
+        assert cli["self_seconds"] <= cli["seconds"]
+        subsystems = summary["subsystems"]
+        assert set(subsystems) == {"cli", "session", "store"}
+
+    def test_pruning_ratios(self):
+        ratios = pruning_ratios({
+            "store.segments_planned": 4, "store.segments_pruned": 3,
+            "store.rows_scanned": 100, "store.rows_matched": 25,
+        })
+        assert ratios["segments_pruned_fraction"] == 0.75
+        assert ratios["rows_matched_fraction"] == 0.25
+
+    def test_pruning_ratios_empty_trace(self):
+        ratios = pruning_ratios({})
+        assert ratios["segments_pruned_fraction"] is None
+        assert ratios["rows_matched_fraction"] is None
+
+    def test_render_summary_mentions_the_key_sections(self, traced_dir):
+        directory, _ = traced_dir
+        text = render_summary(summarize(read_trace_dir(directory)))
+        assert "per-subsystem self time" in text
+        assert "store pushdown" in text
+        assert "segments pruned : 3 / 4" in text
+        assert "session.experiment" in text
+
+    def test_summary_is_json_serializable(self, traced_dir):
+        directory, _ = traced_dir
+        json.dumps(summarize(read_trace_dir(directory)), sort_keys=True)
+
+
+class TestTree:
+    def test_worker_spans_reparent_under_the_dispatching_span(
+        self, traced_dir
+    ):
+        directory, dispatch_id = traced_dir
+        data = read_trace_dir(directory)
+        roots = build_tree(data)
+        assert [r["span"]["name"] for r in roots] == ["cli.run"]
+
+        def find(node, name):
+            if node["span"]["name"] == name:
+                return node
+            for child in node["children"]:
+                found = find(child, name)
+                if found:
+                    return found
+            return None
+
+        dispatch = find(roots[0], "session.dispatch")
+        assert dispatch["span"]["id"] == dispatch_id
+        experiment = find(dispatch, "session.experiment")
+        assert experiment is not None, "worker span not stitched under dispatch"
+
+    def test_render_tree_indents_and_labels_processes(self, traced_dir):
+        directory, _ = traced_dir
+        text = render_tree(read_trace_dir(directory))
+        lines = text.splitlines()
+        assert lines[0].startswith("cli.run")
+        assert any(line.startswith("  session.dispatch") for line in lines)
+        # Every line carries a (label/pid) process tag and a duration.
+        assert all("ms  (" in line for line in lines)
+
+    def test_max_depth_limits_output(self, traced_dir):
+        directory, _ = traced_dir
+        shallow = render_tree(read_trace_dir(directory), max_depth=0)
+        assert shallow.splitlines()[0].startswith("cli.run")
+        assert "session.dispatch" not in shallow
+
+
+class TestChromeExport:
+    def test_events_cover_every_span_and_process(self, traced_dir):
+        directory, _ = traced_dir
+        data = read_trace_dir(directory)
+        events = to_chrome_events(data)
+        x_events = [e for e in events if e["ph"] == "X"]
+        m_events = [e for e in events if e["ph"] == "M"]
+        assert len(x_events) == len(data.spans)
+        assert len(m_events) == len(data.metas)
+        scan = next(e for e in x_events if e["name"] == "store.segment.scan")
+        assert scan["cat"] == "store"
+        assert scan["args"]["store.rows_scanned"] == 100
+        assert scan["dur"] >= 0
+
+    def test_write_chrome_trace_round_trips(self, traced_dir, tmp_path):
+        directory, _ = traced_dir
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(read_trace_dir(directory), out)
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["displayTimeUnit"] == "ms"
+        assert {e["ph"] for e in payload["traceEvents"]} == {"M", "X"}
